@@ -1,0 +1,35 @@
+"""E11 -- DVFS degrades reliability; re-execution restores it (paper Section II).
+
+The motivation of the TRI-CRIT problem, validated by Monte-Carlo fault
+injection against the analytic model:
+
+* lowering the execution speed lowers both the energy and the probability
+  that the whole application completes without a transient fault;
+* scheduling a re-execution restores the reliability above the
+  single-execution level, at a bounded worst-case energy cost, while the
+  *observed* (simulated) energy stays close to the single-execution energy
+  because second executions rarely run;
+* the analytic reliability model agrees with the simulation within the
+  binomial confidence interval -- the model the optimisation relies on is
+  trustworthy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import print_table, run_reliability_simulation_experiment
+
+
+def test_e11_reliability_energy_tradeoff(run_once):
+    rows = run_once(run_reliability_simulation_experiment,
+                    chain_size=8, speed_fractions=(1.0, 0.8, 0.6, 0.4), trials=4000)
+    print_table(rows, title="E11: Monte-Carlo reliability vs analytic model")
+    assert all(row["analytic_within_confidence"] for row in rows)
+    # Reliability decreases as the speed decreases (single execution).
+    reliabilities = [row["single_analytic_reliability"] for row in rows]
+    assert all(a >= b - 1e-12 for a, b in zip(reliabilities[:-1], reliabilities[1:]))
+    for row in rows:
+        assert row["reexec_analytic_reliability"] >= row["single_analytic_reliability"] - 1e-12
+        assert row["reexec_worst_case_energy"] >= row["single_energy"] - 1e-9
+        # Observed energy of the re-executed schedule stays well below its
+        # worst case (successful first attempts cancel the retry).
+        assert row["reexec_mean_simulated_energy"] <= row["reexec_worst_case_energy"] + 1e-9

@@ -1,0 +1,35 @@
+"""E12 -- Impact of the list-scheduling mapping heuristic (paper Section V).
+
+The paper's future-work question: the energy heuristics assume a mapping
+produced by a critical-path list scheduler; does the choice of that mapping
+heuristic matter, and could a non-makespan-optimal mapping sometimes be
+better for energy?  The ablation sweeps the mapping rules implemented in
+:mod:`repro.platform.list_scheduling` and optimises the speeds on top of each
+mapping with the same deadline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import print_table, run_mapping_ablation_experiment
+
+
+def test_e12_mapping_choice_impacts_energy(run_once):
+    rows = run_once(run_mapping_ablation_experiment,
+                    shapes=((4, 4), (5, 4)), num_processors=4, slack=1.8)
+    print_table(rows, title="E12: mapping-heuristic ablation (energy after speed scaling)")
+    cp_rows = [r for r in rows if r["mapping"] == "critical_path"]
+    assert all(r["feasible"] for r in cp_rows)
+    # The spread across mappings is non-trivial: at least one alternative
+    # mapping differs from the critical-path mapping by more than 1%.
+    finite = [r for r in rows if math.isfinite(r["energy_vs_cp"])]
+    assert any(abs(r["energy_vs_cp"] - 1.0) > 0.01 for r in finite
+               if r["mapping"] != "critical_path")
+    # And the critical-path mapping is never catastrophically beaten (it is a
+    # sound default), staying within 25% of the best mapping found.
+    for instance in {r["instance"] for r in rows}:
+        instance_rows = [r for r in finite if r["instance"] == instance]
+        best = min(r["energy"] for r in instance_rows)
+        cp = next(r["energy"] for r in instance_rows if r["mapping"] == "critical_path")
+        assert cp <= 1.25 * best

@@ -1,0 +1,20 @@
+"""E2 -- Closed forms for trees / series-parallel graphs (paper Section III).
+
+Claim reproduced: the equivalent-weight recursion (series = sum, parallel =
+cube-root of the sum of cubes) gives the optimal BI-CRIT CONTINUOUS energy
+``W^3/D^2`` for series-parallel execution graphs; the numerical convex
+program must agree on random SP graphs of growing size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import print_table, run_series_parallel_experiment
+
+
+def test_e2_series_parallel_closed_form_matches_convex(run_once):
+    rows = run_once(run_series_parallel_experiment,
+                    sizes=(4, 8, 12, 16), slacks=(1.5, 3.0))
+    print_table(rows, title="E2: series-parallel equivalent-weight recursion vs convex")
+    assert len(rows) == 8
+    for row in rows:
+        assert row["relative_gap"] < 5e-3

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every module under ``benchmarks/`` reproduces one experiment of the
+per-experiment index in ``DESIGN.md`` (E1-E12).  Each test
+
+* runs the corresponding ``repro.experiments.run_*`` function once (timed
+  with ``benchmark.pedantic`` so pytest-benchmark reports the cost of
+  regenerating the experiment),
+* prints the resulting rows as an ASCII table -- the output of
+  ``pytest benchmarks/ --benchmark-only -s`` is the reproduction record
+  summarised in ``EXPERIMENTS.md``,
+* asserts the headline qualitative claim of the experiment (who wins, what
+  is bounded by what), which is the part of the paper's result that must
+  survive the substitution of our simulator for the authors' setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return _run

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Energy reclamation on an HPC-style platform across all speed models.
+
+Scenario: a bulk-synchronous application (a chain of fork-join phases, the
+kind of workload the paper's introduction motivates) is mapped onto a small
+homogeneous cluster partition by a critical-path list scheduler.  The
+deadline is 1.6x the fmax makespan -- typical slack left by a conservative
+reservation.  The script then answers the practitioner's question: *how much
+of that slack can be converted into energy savings, and how much does the
+answer depend on the DVFS model of the processors?*
+
+It compares, on the same instance:
+
+* the no-DVFS baseline and the per-task local slack-reclaiming baseline,
+* the global CONTINUOUS optimum (convex program of Section III),
+* the VDD-HOPPING optimum (linear program of Section IV),
+* the exact DISCRETE optimum (NP-complete; MILP) and the polynomial
+  INCREMENTAL approximation with its guaranteed factor.
+
+Run with:  python examples/hpc_platform_energy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import local_slack_reclaiming, no_dvfs, uniform_slowdown
+from repro.continuous import solve_bicrit_continuous
+from repro.core import BiCritProblem, DiscreteSpeeds, IncrementalSpeeds, VddHoppingSpeeds
+from repro.dag import generators
+from repro.discrete import (
+    approximation_bound,
+    solve_bicrit_discrete_milp,
+    solve_bicrit_incremental_approx,
+    solve_bicrit_vdd_lp,
+)
+from repro.experiments import print_table
+from repro.platform import Platform, critical_path_mapping
+
+NUM_PROCESSORS = 8
+MODES = [0.25, 0.5, 0.75, 1.0]          # normalised DVFS operating points
+DEADLINE_SLACK = 1.6
+
+
+def main() -> None:
+    # The application: 4 BSP phases of width 6 with random phase weights.
+    graph = generators.phase_fork_join(num_phases=4, width=6, seed=2024)
+    print(f"application: {graph.num_tasks} tasks, total work "
+          f"{graph.total_weight():.1f}, critical path {graph.critical_path_weight():.1f}")
+
+    # Mapping by critical-path list scheduling at fmax (the paper's choice).
+    listing = critical_path_mapping(graph, NUM_PROCESSORS, fmax=1.0)
+    deadline = DEADLINE_SLACK * listing.makespan
+    print(f"mapped on {NUM_PROCESSORS} processors: fmax makespan {listing.makespan:.2f}, "
+          f"deadline {deadline:.2f}")
+
+    def problem(speed_model) -> BiCritProblem:
+        return BiCritProblem(listing.mapping, Platform(NUM_PROCESSORS, speed_model),
+                             deadline)
+
+    rows = []
+
+    continuous_platform = Platform(NUM_PROCESSORS, VddHoppingSpeeds(MODES)).continuous_twin()
+    continuous_problem = BiCritProblem(listing.mapping, continuous_platform, deadline)
+    reference = no_dvfs(continuous_problem).energy
+
+    def add(name, energy, note=""):
+        rows.append({
+            "policy": name,
+            "energy": energy,
+            "saving_vs_fmax": f"{100 * (1 - energy / reference):.1f}%",
+            "note": note,
+        })
+
+    add("no DVFS (all fmax)", reference)
+    add("uniform slowdown", uniform_slowdown(continuous_problem).energy)
+    add("local slack reclaiming", local_slack_reclaiming(continuous_problem).energy,
+        "per-task backfilling")
+    add("CONTINUOUS optimum", solve_bicrit_continuous(continuous_problem).energy,
+        "convex program")
+    add("VDD-HOPPING optimum", solve_bicrit_vdd_lp(problem(VddHoppingSpeeds(MODES))).energy,
+        "linear program")
+    add("DISCRETE optimum", solve_bicrit_discrete_milp(problem(DiscreteSpeeds(MODES))).energy,
+        "MILP (NP-complete)")
+    incremental = IncrementalSpeeds(0.25, 1.0, 0.25)
+    approx = solve_bicrit_incremental_approx(problem(incremental))
+    add("INCREMENTAL approx", approx.energy,
+        f"guaranteed within x{approximation_bound(incremental):.2f}")
+
+    print_table(rows, title="\nEnergy per policy (same mapping, same deadline)")
+    print("\nReading: the global CONTINUOUS optimum is the floor; VDD-HOPPING "
+          "gets within a few percent of it with only "
+          f"{len(MODES)} modes; the single-mode DISCRETE optimum and the "
+          "INCREMENTAL approximation pay a little more; the local baseline "
+          "leaves most of the savings on the table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""The energy / makespan / reliability trade-off (TRI-CRIT) on a real-ish DAG.
+
+Scenario: a safety-relevant pipeline (here a layered random DAG standing in
+for a signal-processing pipeline) runs on a 4-processor embedded board.
+Transient faults become more likely when DVFS lowers the voltage (Zhu et
+al.'s model, adopted by the paper), so the operator wants each stage to be at
+least as reliable as if it ran at nominal speed -- the paper's TRI-CRIT
+constraint -- while spending as little energy as the deadline allows.
+
+The script:
+
+1. solves the problem with the best reliable schedule *without* re-execution
+   (every task at least at f_rel),
+2. runs the paper's two heuristic families and their best-of combination,
+3. cross-checks the winner against the exhaustive optimum (the instance is
+   small enough),
+4. validates the chosen schedule with the fault-injecting Monte-Carlo
+   simulator: the observed success rate must match the analytic reliability,
+   and the observed energy is below the worst-case accounting because second
+   executions rarely run.
+
+Run with:  python examples/reliability_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.continuous import (
+    best_of_heuristics,
+    heuristic_energy_gain,
+    heuristic_parallel_slack,
+    solve_tricrit_exhaustive,
+    solve_tricrit_no_reexec,
+)
+from repro.core import ReliabilityModel, TriCritProblem, ContinuousSpeeds
+from repro.dag import generators
+from repro.experiments import print_table
+from repro.platform import Platform, critical_path_mapping
+from repro.simulation import run_monte_carlo
+
+NUM_PROCESSORS = 4
+DEADLINE_SLACK = 2.2
+LAMBDA0 = 1e-4          # fault rate at fmax (per time unit)
+SENSITIVITY = 4.0       # how sharply the fault rate grows when slowing down
+
+
+def main() -> None:
+    graph = generators.random_layered_dag(3, 3, seed=7, low=2.0, high=8.0)
+    reliability = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=LAMBDA0,
+                                   sensitivity=SENSITIVITY)
+    platform = Platform(NUM_PROCESSORS, ContinuousSpeeds(0.1, 1.0),
+                        reliability_model=reliability)
+    listing = critical_path_mapping(graph, NUM_PROCESSORS, fmax=1.0)
+    deadline = DEADLINE_SLACK * listing.makespan
+    problem = TriCritProblem(listing.mapping, platform, deadline)
+    print(f"pipeline: {graph.num_tasks} tasks on {NUM_PROCESSORS} processors, "
+          f"deadline {deadline:.2f} ({DEADLINE_SLACK}x the fmax makespan)")
+
+    solutions = {
+        "no re-execution (all >= f_rel)": solve_tricrit_no_reexec(problem),
+        "heuristic A (energy gain)": heuristic_energy_gain(problem),
+        "heuristic B (parallel slack)": heuristic_parallel_slack(problem),
+        "best of A/B": best_of_heuristics(problem),
+        "exhaustive optimum": solve_tricrit_exhaustive(problem),
+    }
+
+    rows = []
+    for name, result in solutions.items():
+        schedule = result.require_schedule()
+        report = problem.evaluate(schedule)
+        rows.append({
+            "policy": name,
+            "energy": result.energy,
+            "makespan": report.makespan,
+            "reexecuted": schedule.num_reexecuted(),
+            "feasible": report.feasible,
+        })
+    print_table(rows, title="\nTRI-CRIT solutions (deadline and reliability enforced)")
+
+    chosen = solutions["best of A/B"].require_schedule()
+    mc = run_monte_carlo(chosen, trials=20000, seed=1)
+    print("\nMonte-Carlo validation of the chosen schedule (20000 runs):")
+    print(f"  analytic reliability : {mc.analytic_reliability:.6f}")
+    print(f"  simulated success    : {mc.success_rate:.6f} "
+          f"(+/- {2 * mc.success_stderr:.6f})")
+    print(f"  worst-case energy    : {mc.mean_worst_case_energy:.3f}")
+    print(f"  observed mean energy : {mc.mean_energy:.3f}")
+    print(f"  observed max makespan: {mc.max_makespan:.3f} (deadline {deadline:.3f})")
+    print("\nReading: re-execution lets non-critical tasks run well below f_rel, "
+          "cutting energy versus the reliable no-re-execution schedule while the "
+          "simulated success rate confirms the reliability constraint holds.")
+
+
+if __name__ == "__main__":
+    main()

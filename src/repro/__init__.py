@@ -1,0 +1,93 @@
+"""repro: energy-aware DVFS scheduling under makespan and reliability constraints.
+
+Reproduction of *"Energy-aware Scheduling: Models and Complexity Results"*
+(Guillaume Aupy, IPDPSW / PhD Forum 2012).  The library implements the
+paper's models -- CONTINUOUS, DISCRETE, VDD-HOPPING and INCREMENTAL speed
+models, the cube-law energy model, the exponential transient-fault
+reliability model with re-execution -- together with every algorithmic
+result it states: closed forms for chains/forks/series-parallel graphs, the
+convex (geometric-programming) formulation for general DAGs, the
+VDD-HOPPING linear program, the INCREMENTAL approximation algorithm, the
+NP-hardness reductions, and the two complementary TRI-CRIT heuristic
+families, plus the substrates (task graphs, platforms, list scheduling,
+LP/MILP solvers, fault-injection simulator) needed to evaluate them.
+
+Quick start::
+
+    from repro.dag import generators
+    from repro.platform import Platform, Mapping
+    from repro.core import BiCritProblem, ContinuousSpeeds
+    from repro.continuous import solve_bicrit_continuous
+
+    graph = generators.fork(3.0, [2.0, 5.0, 1.0, 4.0])
+    platform = Platform(5, ContinuousSpeeds(0.1, 2.0))
+    mapping = Mapping.one_task_per_processor(graph)
+    problem = BiCritProblem(mapping, platform, deadline=6.0)
+    result = solve_bicrit_continuous(problem)
+    print(result.energy, result.schedule.makespan())
+
+See ``README.md`` for an overview, ``DESIGN.md`` for the system inventory
+and ``EXPERIMENTS.md`` for the paper-claim-by-claim reproduction record.
+"""
+
+from __future__ import annotations
+
+from . import (
+    baselines,
+    complexity,
+    continuous,
+    core,
+    dag,
+    discrete,
+    experiments,
+    lp,
+    optimize,
+    platform,
+    simulation,
+)
+from .core import (
+    BiCritProblem,
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    EnergyModel,
+    IncrementalSpeeds,
+    ReliabilityModel,
+    Schedule,
+    SolveResult,
+    TriCritProblem,
+    VddHoppingSpeeds,
+)
+from .dag import TaskGraph
+from .platform import Mapping, Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "core",
+    "dag",
+    "platform",
+    "lp",
+    "optimize",
+    "continuous",
+    "discrete",
+    "complexity",
+    "simulation",
+    "baselines",
+    "experiments",
+    # most-used classes re-exported at the top level
+    "TaskGraph",
+    "Platform",
+    "Mapping",
+    "EnergyModel",
+    "ReliabilityModel",
+    "Schedule",
+    "SolveResult",
+    "BiCritProblem",
+    "TriCritProblem",
+    "ContinuousSpeeds",
+    "DiscreteSpeeds",
+    "VddHoppingSpeeds",
+    "IncrementalSpeeds",
+]

@@ -1,0 +1,17 @@
+"""Baseline scheduling policies the paper's global approach is compared against."""
+
+from .policies import (
+    BASELINES,
+    greedy_reexecution,
+    local_slack_reclaiming,
+    no_dvfs,
+    uniform_slowdown,
+)
+
+__all__ = [
+    "no_dvfs",
+    "uniform_slowdown",
+    "local_slack_reclaiming",
+    "greedy_reexecution",
+    "BASELINES",
+]

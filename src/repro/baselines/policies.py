@@ -1,0 +1,187 @@
+"""Baseline policies.
+
+The paper positions its contribution against simpler approaches: running
+everything at maximum speed (no DVFS at all), slowing everything uniformly,
+and "a local approach such as backfilling" that reclaims slack task by task
+instead of optimising the schedule as a whole.  These baselines are used by
+the heuristic-comparison experiment (E9) and by the examples.
+
+* :func:`no_dvfs` -- every task once at ``fmax`` (the energy upper bound and
+  the most reliable single-execution schedule).
+* :func:`uniform_slowdown` -- every task at the single lowest speed that
+  still meets the deadline (and the reliability threshold for TRI-CRIT
+  instances).
+* :func:`local_slack_reclaiming` -- the backfilling-style local approach:
+  keep the ``fmax`` start times, then stretch each task independently into
+  the idle time in front of its successors, never reconsidering other tasks.
+* :func:`greedy_reexecution` -- a naive TRI-CRIT baseline: a reliable
+  single-execution schedule, then re-execute tasks in decreasing weight
+  order whenever the extra time fits in the remaining deadline slack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.problems import BiCritProblem, SolveResult, TriCritProblem
+from ..core.schedule import Schedule, TaskDecision
+from ..continuous.tricrit_chain import reexecution_speed_floor
+from ..dag.taskgraph import TaskId
+
+__all__ = [
+    "no_dvfs",
+    "uniform_slowdown",
+    "local_slack_reclaiming",
+    "greedy_reexecution",
+    "BASELINES",
+]
+
+
+def _speed_floor(problem: BiCritProblem) -> float:
+    """Slowest admissible single-execution speed (f_rel for TRI-CRIT)."""
+    if isinstance(problem, TriCritProblem):
+        return max(problem.reliability().frel, problem.platform.fmin)
+    return problem.platform.fmin
+
+
+def _admissible(problem: BiCritProblem, speed: float) -> float:
+    """Round a target speed to an admissible one, never below the target."""
+    model = problem.platform.speed_model
+    speed = min(max(speed, model.fmin), model.fmax)
+    if model.is_discrete:
+        return model.round_up(speed)
+    return speed
+
+
+def _single_speed_result(problem: BiCritProblem, speeds: dict[TaskId, float],
+                         solver: str, metadata: dict | None = None) -> SolveResult:
+    graph = problem.graph
+    decisions = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        decisions[t] = TaskDecision.single(t, w, speeds.get(t, problem.platform.fmax))
+    schedule = Schedule(problem.mapping, problem.platform, decisions)
+    return SolveResult(schedule=schedule, energy=schedule.energy(), status="feasible",
+                       solver=solver, metadata=metadata or {})
+
+
+def no_dvfs(problem: BiCritProblem) -> SolveResult:
+    """Everything at ``fmax``: maximum energy, maximum single-execution reliability."""
+    fmax = problem.platform.fmax
+    return _single_speed_result(problem, {t: fmax for t in problem.graph.tasks()},
+                                "baseline-no-dvfs")
+
+
+def uniform_slowdown(problem: BiCritProblem) -> SolveResult:
+    """One common speed for every task, as low as the deadline allows."""
+    graph = problem.graph
+    augmented = problem.mapping.augmented_graph()
+    # Longest weighted path of the augmented graph = makespan at unit speed.
+    length = 0.0
+    finish: dict[TaskId, float] = {}
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t)
+    length = max(finish.values(), default=0.0)
+    required = length / problem.deadline if problem.deadline > 0 else math.inf
+    speed = max(required, _speed_floor(problem))
+    if speed > problem.platform.fmax * (1.0 + 1e-12):
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="baseline-uniform-slowdown",
+                           metadata={"required_speed": required})
+    speed = _admissible(problem, speed)
+    return _single_speed_result(problem, {t: speed for t in graph.tasks()},
+                                "baseline-uniform-slowdown",
+                                {"uniform_speed": speed})
+
+
+def local_slack_reclaiming(problem: BiCritProblem) -> SolveResult:
+    """Per-task slack reclamation keeping the ``fmax`` start times fixed.
+
+    Every task may only stretch into the window between its own ``fmax``
+    start time and the earliest ``fmax`` start time of its successors (or
+    the deadline for exit tasks).  This is the "local" strategy the paper's
+    whole-schedule formulation is contrasted with: no start time ever moves,
+    so slack created elsewhere in the schedule can never be used.
+    """
+    graph = problem.graph
+    augmented = problem.mapping.augmented_graph()
+    platform = problem.platform
+    floor = _speed_floor(problem)
+    fmax = platform.fmax
+
+    start: dict[TaskId, float] = {}
+    finish: dict[TaskId, float] = {}
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        start[t] = s
+        finish[t] = s + (graph.weight(t) / fmax if graph.weight(t) > 0 else 0.0)
+    if max(finish.values(), default=0.0) > problem.deadline * (1.0 + 1e-9):
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="baseline-local-slack",
+                           metadata={"message": "infeasible even at fmax"})
+
+    speeds: dict[TaskId, float] = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        if w <= 0:
+            speeds[t] = fmax
+            continue
+        window_end = min(
+            (start[s] for s in augmented.successors(t)), default=problem.deadline
+        )
+        window_end = min(window_end, problem.deadline)
+        window = max(window_end - start[t], w / fmax)
+        speed = max(w / window, floor)
+        speeds[t] = _admissible(problem, min(speed, fmax))
+    return _single_speed_result(problem, speeds, "baseline-local-slack")
+
+
+def greedy_reexecution(problem: TriCritProblem) -> SolveResult:
+    """Naive TRI-CRIT baseline: reliable schedule, then re-execute big tasks.
+
+    Starting from the uniform reliable schedule, tasks are considered in
+    decreasing weight order; a task is re-executed (both attempts at the
+    slowest reliable equal speed) whenever the resulting schedule still
+    meets the deadline and the change lowers the energy.
+    """
+    if not isinstance(problem, TriCritProblem):
+        raise TypeError("greedy_reexecution is a TRI-CRIT baseline")
+    base = uniform_slowdown(problem)
+    if not base.feasible:
+        return base
+    model = problem.reliability()
+    platform = problem.platform
+    graph = problem.graph
+    decisions = dict(base.require_schedule().decisions)
+    current_energy = base.energy
+    order = sorted(
+        (t for t in graph.tasks() if graph.weight(t) > 0),
+        key=lambda t: graph.weight(t), reverse=True,
+    )
+    accepted = []
+    for t in order:
+        w = graph.weight(t)
+        floor = reexecution_speed_floor(model, w, platform.fmin)
+        floor = _admissible(problem, floor)
+        candidate = dict(decisions)
+        candidate[t] = TaskDecision.reexecuted(t, w, floor, floor)
+        schedule = Schedule(problem.mapping, platform, candidate)
+        if schedule.makespan() <= problem.deadline * (1.0 + 1e-9):
+            energy = schedule.energy()
+            if energy < current_energy - 1e-12:
+                decisions = candidate
+                current_energy = energy
+                accepted.append(t)
+    schedule = Schedule(problem.mapping, platform, decisions)
+    return SolveResult(schedule=schedule, energy=schedule.energy(), status="feasible",
+                       solver="baseline-greedy-reexecution",
+                       metadata={"reexecuted": sorted(map(str, accepted))})
+
+
+#: Registry used by the experiment harness.
+BASELINES = {
+    "no_dvfs": no_dvfs,
+    "uniform_slowdown": uniform_slowdown,
+    "local_slack_reclaiming": local_slack_reclaiming,
+}

@@ -1,0 +1,29 @@
+"""Executable complexity results: reductions and scaling probes."""
+
+from .reductions import (
+    PartitionReduction,
+    partition_has_solution,
+    partition_to_discrete_bicrit,
+    subset_sum_to_tricrit_chain,
+    verify_partition_reduction,
+)
+from .scaling import (
+    ScalingPoint,
+    fit_growth_exponent,
+    measure_discrete_exact_scaling,
+    measure_tricrit_chain_scaling,
+    measure_vdd_lp_scaling,
+)
+
+__all__ = [
+    "PartitionReduction",
+    "partition_to_discrete_bicrit",
+    "partition_has_solution",
+    "verify_partition_reduction",
+    "subset_sum_to_tricrit_chain",
+    "ScalingPoint",
+    "measure_vdd_lp_scaling",
+    "measure_discrete_exact_scaling",
+    "measure_tricrit_chain_scaling",
+    "fit_growth_exponent",
+]

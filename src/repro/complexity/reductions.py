@@ -1,0 +1,173 @@
+"""Executable polynomial-time reductions behind the paper's hardness results.
+
+A complexity result cannot be "run", but its reduction can: this module
+constructs, for classic NP-complete source problems, the scheduling
+instances used to prove the paper's hardness claims, and the test-suite /
+experiment E5 verify on small instances that solving the scheduling instance
+exactly answers the source problem.  Two reductions are provided:
+
+* :func:`partition_to_discrete_bicrit` -- 2-PARTITION reduces to the
+  decision version of BI-CRIT under the DISCRETE (two-mode) model, the
+  paper's Section IV claim that BI-CRIT DISCRETE / INCREMENTAL is
+  NP-complete.
+
+  Construction: given positive integers ``a_1..a_n`` of total ``2S``, build
+  a single-processor instance with one task of weight ``a_i`` per integer
+  and two admissible speeds ``{1, 2}``.  Running task ``i`` at speed 2
+  saves ``a_i/2`` time but costs ``3 a_i`` extra energy, so with deadline
+  ``D = 3S/2`` and energy budget ``E = 5S`` a feasible schedule exists iff
+  some subset of the integers sums to exactly ``S``:
+
+  - time:   ``2S - (1/2) sum_{i in A} a_i <= 3S/2``  iff  ``sum_A a_i >= S``
+  - energy: ``2S + 3 sum_{i in A} a_i     <= 5S``    iff  ``sum_A a_i <= S``
+
+* :func:`subset_sum_to_tricrit_chain` -- the combinatorial core of the
+  TRI-CRIT hardness proof (Section III: NP-hard even on a single-processor
+  linear chain): choosing *which* tasks to re-execute is a subset-selection
+  problem whose time/energy trade-off mirrors SUBSET-SUM.  The construction
+  here builds, for a SUBSET-SUM instance, a chain whose optimal re-execution
+  set must occupy exactly the target amount of extra time; it is used as an
+  adversarial instance family for the chain heuristics (the full formal
+  reduction is in the companion report RR-7757).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.problems import BiCritProblem, TriCritProblem
+from ..core.reliability import ReliabilityModel
+from ..core.speeds import DiscreteSpeeds, ContinuousSpeeds
+from ..dag.generators import chain
+from ..platform.mapping import Mapping
+from ..platform.platform import Platform
+
+__all__ = [
+    "PartitionReduction",
+    "partition_to_discrete_bicrit",
+    "partition_has_solution",
+    "verify_partition_reduction",
+    "subset_sum_to_tricrit_chain",
+]
+
+
+@dataclass(frozen=True)
+class PartitionReduction:
+    """The scheduling instance produced from a 2-PARTITION instance."""
+
+    problem: BiCritProblem
+    energy_budget: float
+    deadline: float
+    integers: tuple[int, ...]
+    half_sum: float
+
+    def decision(self, energy: float, *, tol: float = 1e-9) -> bool:
+        """Interpret a solver's optimal energy as the 2-PARTITION answer."""
+        return energy <= self.energy_budget * (1.0 + tol) + tol
+
+
+def partition_to_discrete_bicrit(integers: Sequence[int]) -> PartitionReduction:
+    """Build the BI-CRIT DISCRETE instance encoding a 2-PARTITION instance.
+
+    The integers must be positive and of even total sum (otherwise the
+    2-PARTITION answer is trivially "no"; the construction still works and
+    the scheduling optimum then exceeds the energy budget).
+    """
+    values = [int(a) for a in integers]
+    if not values or any(a <= 0 for a in values):
+        raise ValueError("2-PARTITION needs a non-empty list of positive integers")
+    total = sum(values)
+    half = total / 2.0
+
+    graph = chain([float(a) for a in values], prefix="P")
+    mapping = Mapping.single_processor(graph)
+    platform = Platform(1, DiscreteSpeeds([1.0, 2.0]))
+    deadline = total - half / 2.0          # = 3S/2 when total = 2S
+    energy_budget = total + 3.0 * half     # = 5S  when total = 2S
+    problem = BiCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+    return PartitionReduction(problem=problem, energy_budget=energy_budget,
+                              deadline=deadline, integers=tuple(values),
+                              half_sum=half)
+
+
+def partition_has_solution(integers: Sequence[int]) -> bool:
+    """Reference answer to 2-PARTITION by subset-sum dynamic programming."""
+    values = [int(a) for a in integers]
+    total = sum(values)
+    if total % 2 != 0:
+        return False
+    target = total // 2
+    reachable = {0}
+    for a in values:
+        reachable |= {r + a for r in reachable if r + a <= target}
+    return target in reachable
+
+
+def verify_partition_reduction(integers: Sequence[int], *,
+                               solver: str = "bruteforce") -> dict:
+    """Solve both sides of the reduction and report whether they agree.
+
+    ``solver`` selects the exact scheduling solver: ``"bruteforce"`` or
+    ``"milp"``.  Returns a dict with the scheduling optimum, the energy
+    budget, the derived decision and the direct 2-PARTITION answer.
+    """
+    from ..discrete.exact import (
+        solve_bicrit_discrete_bruteforce,
+        solve_bicrit_discrete_milp,
+    )
+
+    reduction = partition_to_discrete_bicrit(integers)
+    if solver == "bruteforce":
+        result = solve_bicrit_discrete_bruteforce(reduction.problem)
+    elif solver == "milp":
+        result = solve_bicrit_discrete_milp(reduction.problem)
+    else:
+        raise ValueError(f"unknown solver {solver!r}")
+    scheduling_answer = reduction.decision(result.energy) if result.feasible else False
+    partition_answer = partition_has_solution(integers)
+    return {
+        "integers": list(reduction.integers),
+        "optimal_energy": result.energy,
+        "energy_budget": reduction.energy_budget,
+        "deadline": reduction.deadline,
+        "scheduling_answer": scheduling_answer,
+        "partition_answer": partition_answer,
+        "agree": scheduling_answer == partition_answer,
+        "solver": result.solver,
+    }
+
+
+def subset_sum_to_tricrit_chain(integers: Sequence[int], target: int, *,
+                                fmax: float = 1.0, fmin: float = 0.05,
+                                lambda0: float = 1e-5,
+                                sensitivity: float = 3.0) -> TriCritProblem:
+    """Adversarial TRI-CRIT chain instance derived from a SUBSET-SUM instance.
+
+    One task of weight ``a_i`` per integer, single processor, continuous
+    speeds.  The reliability threshold is set at ``f_rel = fmax`` so a task
+    executed once must run at full speed; re-executing task ``i`` instead
+    allows both attempts to run slower but occupies extra time roughly
+    proportional to ``a_i``.  The deadline leaves exactly ``target/fmax``
+    units of slack beyond the all-at-fmax schedule, so the energy-optimal
+    re-execution set has to "fill" the slack the way a SUBSET-SUM solution
+    fills the target -- the combinatorial structure the NP-hardness proof of
+    the companion report exploits.  Experiment E7 uses these instances to
+    stress the chain heuristic against the exact solver.
+    """
+    values = [int(a) for a in integers]
+    if not values or any(a <= 0 for a in values):
+        raise ValueError("SUBSET-SUM needs a non-empty list of positive integers")
+    if target <= 0 or target > sum(values):
+        raise ValueError("target must lie in (0, sum of integers]")
+    graph = chain([float(a) for a in values], prefix="S")
+    mapping = Mapping.single_processor(graph)
+    reliability = ReliabilityModel(fmin=fmin, fmax=fmax, lambda0=lambda0,
+                                   sensitivity=sensitivity, frel=fmax)
+    platform = Platform(1, ContinuousSpeeds(fmin, fmax),
+                        reliability_model=reliability)
+    total = float(sum(values))
+    deadline = (total + float(target)) / fmax
+    return TriCritProblem(mapping=mapping, platform=platform, deadline=deadline)

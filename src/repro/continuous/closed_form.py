@@ -1,0 +1,323 @@
+"""Closed-form BI-CRIT CONTINUOUS solutions for special graph structures.
+
+Section III of the paper: "We provide optimal speed values for special
+execution graph structures (trees, series-parallel graphs), expressed as
+closed form algebraic formulas."  The paper states the fork theorem
+explicitly; this module implements
+
+* the **linear chain** (all tasks serialised on one processor): every task
+  runs at the common speed ``sum(w_i) / D``;
+* the **fork** theorem verbatim, including the ``fmax`` saturation case;
+* the **join** (mirror of the fork);
+* general **series-parallel graphs** through the *equivalent weight*
+  recursion: a series composition behaves like a single task whose weight is
+  the *sum* of the equivalent weights, a parallel composition like a single
+  task whose weight is the *cube-root of the sum of the cubes* (more
+  generally the ``alpha``-norm-like combination ``(sum W_i^a)^(1/a)``); the
+  optimal energy of a series-parallel graph with equivalent weight ``W`` is
+  ``W^a / D^(a-1)``.  The fork formula is the special case
+  ``Series(w_0, Parallel(w_1..w_n))``.
+
+The closed forms assume one processor per parallel branch (that is how the
+paper's fork theorem is stated: the ``n`` successors run concurrently) and
+they are *unbounded*: the returned speeds are optimal when they fall inside
+``[fmin, fmax]``.  The fork solver implements the paper's explicit ``fmax``
+correction; for the general bounded case use the numerical convex solver in
+:mod:`repro.continuous.convex`, which these formulas cross-validate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..dag.series_parallel import (
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    decompose,
+)
+from ..dag.taskgraph import TaskGraph, TaskId
+
+__all__ = [
+    "ClosedFormSolution",
+    "chain_bicrit",
+    "fork_bicrit",
+    "fork_energy",
+    "join_bicrit",
+    "equivalent_weight",
+    "series_parallel_bicrit",
+    "NoFeasibleSpeedError",
+]
+
+
+class NoFeasibleSpeedError(ValueError):
+    """Raised when the deadline cannot be met even at ``fmax``."""
+
+
+@dataclass(frozen=True)
+class ClosedFormSolution:
+    """Result of a closed-form solver: per-task speeds, durations and energy."""
+
+    speeds: dict[TaskId, float]
+    durations: dict[TaskId, float]
+    energy: float
+    within_bounds: bool
+    structure: str
+
+    def max_speed(self) -> float:
+        return max(self.speeds.values(), default=0.0)
+
+    def min_speed(self) -> float:
+        positive = [f for f in self.speeds.values() if f > 0]
+        return min(positive, default=0.0)
+
+
+# ----------------------------------------------------------------------
+# linear chain
+# ----------------------------------------------------------------------
+def chain_bicrit(weights: Sequence[float], deadline: float, *,
+                 fmax: float | None = None, fmin: float | None = None,
+                 exponent: float = 3.0,
+                 task_ids: Sequence[TaskId] | None = None) -> ClosedFormSolution:
+    """Optimal CONTINUOUS speeds for a chain of tasks sharing one processor.
+
+    All tasks run at the common speed ``sum(w)/D``; when that exceeds
+    ``fmax`` the instance is infeasible, when it falls below ``fmin`` every
+    task is clamped to ``fmin`` (the deadline is then not tight).
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    ids = list(task_ids) if task_ids is not None else [f"T{i}" for i in range(w.size)]
+    if len(ids) != w.size:
+        raise ValueError("task_ids must match the number of weights")
+
+    total = float(np.sum(w))
+    if total == 0:
+        return ClosedFormSolution({t: 0.0 for t in ids}, {t: 0.0 for t in ids},
+                                  0.0, True, "chain")
+    speed = total / deadline
+    within = True
+    if fmax is not None and speed > fmax * (1.0 + 1e-12):
+        raise NoFeasibleSpeedError(
+            f"chain needs speed {speed:.6g} > fmax={fmax:.6g} to meet the deadline"
+        )
+    if fmin is not None and speed < fmin:
+        speed = fmin
+        within = True  # clamping to fmin is still optimal (deadline not tight)
+    speeds = {t: (speed if wi > 0 else 0.0) for t, wi in zip(ids, w)}
+    durations = {t: (wi / speed if wi > 0 else 0.0) for t, wi in zip(ids, w)}
+    energy = float(np.sum(w * speed ** (exponent - 1.0)))
+    return ClosedFormSolution(speeds, durations, energy, within, "chain")
+
+
+# ----------------------------------------------------------------------
+# fork (Theorem of Section III)
+# ----------------------------------------------------------------------
+def fork_energy(source_weight: float, child_weights: Sequence[float],
+                deadline: float, *, exponent: float = 3.0) -> float:
+    """Unbounded optimal fork energy ``((sum w_i^a)^(1/a) + w_0)^a / D^(a-1)``.
+
+    With the paper's ``a = 3`` this is exactly
+    ``((sum w_i^3)^(1/3) + w_0)^3 / D^2``.
+    """
+    w = np.asarray(list(child_weights), dtype=float)
+    a = float(exponent)
+    norm = float(np.sum(w ** a)) ** (1.0 / a)
+    return (norm + float(source_weight)) ** a / deadline ** (a - 1.0)
+
+
+def fork_bicrit(source_weight: float, child_weights: Sequence[float],
+                deadline: float, *, fmax: float | None = None,
+                fmin: float | None = None, exponent: float = 3.0,
+                source_id: TaskId = "T0",
+                child_ids: Sequence[TaskId] | None = None) -> ClosedFormSolution:
+    """The paper's fork theorem, including the ``fmax`` saturation case.
+
+    Unsaturated case::
+
+        f_0 = ((sum w_i^3)^(1/3) + w_0) / D
+        f_i = f_0 * w_i / (sum w_i^3)^(1/3)
+
+    When ``f_0 > fmax`` the source runs at ``fmax`` and every child ``i``
+    runs at ``w_i / D'`` with ``D' = D - w_0/fmax``; if a child speed then
+    exceeds ``fmax`` there is no solution
+    (:class:`NoFeasibleSpeedError`).  ``fmin``, when given, only clamps
+    speeds upward (the deadline is then not tight, energy increases
+    accordingly).
+    """
+    w = np.asarray(list(child_weights), dtype=float)
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    if np.any(w < 0) or source_weight < 0:
+        raise ValueError("weights must be non-negative")
+    a = float(exponent)
+    ids = list(child_ids) if child_ids is not None else [f"T{i + 1}" for i in range(w.size)]
+    if len(ids) != w.size:
+        raise ValueError("child_ids must match the number of child weights")
+
+    norm = float(np.sum(w ** a)) ** (1.0 / a) if w.size else 0.0
+    f0 = (norm + source_weight) / deadline
+
+    speeds: dict[TaskId, float] = {}
+    within = True
+    if fmax is None or f0 <= fmax * (1.0 + 1e-12):
+        speeds[source_id] = f0
+        for t, wi in zip(ids, w):
+            speeds[t] = f0 * wi / norm if norm > 0 else 0.0
+    else:
+        # Saturated case of the theorem.
+        if source_weight / fmax >= deadline:
+            raise NoFeasibleSpeedError(
+                "the source alone exceeds the deadline at fmax; no solution"
+            )
+        speeds[source_id] = fmax
+        d_prime = deadline - source_weight / fmax
+        for t, wi in zip(ids, w):
+            fi = wi / d_prime
+            if fi > fmax * (1.0 + 1e-12):
+                raise NoFeasibleSpeedError(
+                    f"child {t!r} needs speed {fi:.6g} > fmax={fmax:.6g}; no solution"
+                )
+            speeds[t] = fi
+        within = True
+
+    clamped_to_fmin = False
+    if fmin is not None:
+        for t in speeds:
+            if 0.0 < speeds[t] < fmin * (1.0 - 1e-12):
+                speeds[t] = fmin
+                clamped_to_fmin = True
+
+    all_ids = [source_id] + list(ids)
+    all_weights = {source_id: float(source_weight)}
+    all_weights.update({t: float(wi) for t, wi in zip(ids, w)})
+    durations = {
+        t: (all_weights[t] / speeds[t] if speeds[t] > 0 else 0.0) for t in all_ids
+    }
+    energy = float(sum(all_weights[t] * speeds[t] ** (a - 1.0) for t in all_ids))
+    if fmax is not None:
+        within = all(f <= fmax * (1.0 + 1e-9) for f in speeds.values())
+    # When a child had to be sped up to fmin the algebraic formula is no
+    # longer exactly optimal (time should be redistributed); flag it so the
+    # dispatcher can fall back to the numerical solver.
+    within = within and not clamped_to_fmin
+    return ClosedFormSolution(speeds, durations, energy, within, "fork")
+
+
+def join_bicrit(child_weights: Sequence[float], sink_weight: float,
+                deadline: float, **kwargs) -> ClosedFormSolution:
+    """Closed form for a join graph (mirror image of the fork).
+
+    By symmetry of the makespan and energy expressions under time reversal,
+    the optimal speeds of a join equal those of the fork obtained by
+    reversing all edges, so this simply delegates to :func:`fork_bicrit`
+    with the sink playing the role of the source.
+    """
+    sink_id = kwargs.pop("sink_id", "T_sink")
+    child_ids = kwargs.pop("child_ids", None)
+    solution = fork_bicrit(sink_weight, child_weights, deadline,
+                           source_id=sink_id, child_ids=child_ids, **kwargs)
+    return ClosedFormSolution(solution.speeds, solution.durations, solution.energy,
+                              solution.within_bounds, "join")
+
+
+# ----------------------------------------------------------------------
+# series-parallel graphs (equivalent-weight recursion)
+# ----------------------------------------------------------------------
+def equivalent_weight(tree: SPNode, *, exponent: float = 3.0) -> float:
+    """Equivalent weight of a series-parallel decomposition tree.
+
+    * leaf: its own weight,
+    * series: sum of the children's equivalent weights,
+    * parallel: ``(sum_i W_i^a)^(1/a)``.
+
+    The optimal CONTINUOUS energy of the structure under deadline ``D`` (with
+    one processor per parallel branch and no speed bounds) is
+    ``W^a / D^(a-1)``.
+    """
+    a = float(exponent)
+    if isinstance(tree, SPLeaf):
+        return float(tree.weight)
+    if isinstance(tree, SPSeries):
+        return float(sum(equivalent_weight(c, exponent=a) for c in tree.children))
+    if isinstance(tree, SPParallel):
+        return float(
+            sum(equivalent_weight(c, exponent=a) ** a for c in tree.children) ** (1.0 / a)
+        )
+    raise TypeError(f"unknown SP node type {type(tree)!r}")
+
+
+def series_parallel_bicrit(graph_or_tree: TaskGraph | SPNode, deadline: float, *,
+                           exponent: float = 3.0, fmax: float | None = None,
+                           fmin: float | None = None) -> ClosedFormSolution:
+    """Unbounded closed-form optimum for a series-parallel task graph.
+
+    The deadline is distributed recursively: a series composition splits its
+    time budget between children proportionally to their equivalent weights,
+    a parallel composition gives every child the full budget.  Each leaf then
+    runs at ``weight / allotted time``.
+
+    The solution is optimal when every resulting speed lies within
+    ``[fmin, fmax]``; :attr:`ClosedFormSolution.within_bounds` reports
+    whether that is the case (the caller can fall back to the numerical
+    convex solver otherwise).  Raises
+    :class:`~repro.dag.series_parallel.NotSeriesParallelError` when a task
+    graph that is not series-parallel is passed.
+    """
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    a = float(exponent)
+    tree = graph_or_tree if not isinstance(graph_or_tree, TaskGraph) else decompose(graph_or_tree)
+
+    durations: dict[TaskId, float] = {}
+
+    def assign(node: SPNode, budget: float) -> None:
+        if isinstance(node, SPLeaf):
+            durations[node.task_id] = budget if node.weight > 0 else 0.0
+            return
+        if isinstance(node, SPSeries):
+            child_weights = [equivalent_weight(c, exponent=a) for c in node.children]
+            total = sum(child_weights)
+            for child, cw in zip(node.children, child_weights):
+                share = budget * (cw / total) if total > 0 else 0.0
+                assign(child, share)
+            return
+        if isinstance(node, SPParallel):
+            for child in node.children:
+                assign(child, budget)
+            return
+        raise TypeError(f"unknown SP node type {type(node)!r}")
+
+    assign(tree, deadline)
+
+    speeds: dict[TaskId, float] = {}
+    energy = 0.0
+    from ..dag.series_parallel import sp_leaves
+
+    for leaf in sp_leaves(tree):
+        d = durations[leaf.task_id]
+        if leaf.weight > 0:
+            if d <= 0:
+                raise NoFeasibleSpeedError(
+                    f"leaf {leaf.task_id!r} received a zero time budget"
+                )
+            f = leaf.weight / d
+        else:
+            f = 0.0
+        speeds[leaf.task_id] = f
+        energy += leaf.weight * f ** (a - 1.0) if f > 0 else 0.0
+
+    within = True
+    if fmax is not None:
+        within = within and all(f <= fmax * (1.0 + 1e-9) for f in speeds.values())
+    if fmin is not None:
+        within = within and all(f >= fmin * (1.0 - 1e-9) for f in speeds.values() if f > 0)
+    return ClosedFormSolution(speeds, durations, float(energy), within, "series_parallel")

@@ -1,0 +1,263 @@
+"""TRI-CRIT CONTINUOUS heuristics for general mapped DAGs.
+
+Section III of the paper describes two *complementary* families of
+heuristics, both built on the failure probabilities, task weights and
+processor speeds:
+
+* the first family generalises the **linear-chain strategy** ("first slow
+  the execution of all tasks equally, then choose the tasks to be
+  re-executed"): it is driven by the estimated *energy gain* of re-executing
+  a task at a much lower speed -- :func:`heuristic_energy_gain`;
+* the second family generalises the **fork strategy** ("highly
+  parallelizable tasks should be preferred when allocating time slots for
+  re-execution or deceleration"): it is driven by the scheduling *slack* of
+  each task -- :func:`heuristic_parallel_slack`.
+
+"Altogether, taking the best result out of those two heuristics always gives
+the best result over all simulations" -- :func:`best_of_heuristics`.
+
+Both heuristics share the same machinery:
+
+1. the *restricted problem* for a fixed re-execution set is the BI-CRIT
+   convex program where a re-executed task has effective weight ``2 w_i``
+   and a speed floor equal to the slowest equal-speed pair meeting the
+   reliability threshold, while a single-execution task has speed floor
+   ``f_rel`` (:func:`solve_with_reexec_set`);
+2. the heuristic grows the re-execution set greedily, at each round scoring
+   the candidate tasks with its family-specific criterion, fully re-solving
+   the restricted problem for the few best candidates, and accepting the
+   best improvement until none remains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.problems import SolveResult, TriCritProblem
+from ..core.schedule import Schedule, TaskDecision
+from ..dag.taskgraph import TaskId
+from .convex import ConvexResult, solve_bicrit_convex
+from .tricrit_chain import reexecution_speed_floor
+
+__all__ = [
+    "solve_with_reexec_set",
+    "solve_tricrit_no_reexec",
+    "heuristic_energy_gain",
+    "heuristic_parallel_slack",
+    "best_of_heuristics",
+    "TRICRIT_HEURISTICS",
+]
+
+
+def _restricted_convex(problem: TriCritProblem, reexec: frozenset[TaskId], *,
+                       method: str = "auto") -> ConvexResult:
+    graph = problem.graph
+    platform = problem.platform
+    model = problem.reliability()
+    effective = {}
+    min_speed = {}
+    frel = max(model.frel, platform.fmin)
+    for t in graph.tasks():
+        w = graph.weight(t)
+        if t in reexec and w > 0:
+            effective[t] = 2.0 * w
+            min_speed[t] = reexecution_speed_floor(model, w, platform.fmin)
+        else:
+            effective[t] = w
+            min_speed[t] = frel if w > 0 else platform.fmin
+    return solve_bicrit_convex(problem.mapping, platform, problem.deadline,
+                               effective_weights=effective, min_speed=min_speed,
+                               method=method)
+
+
+def solve_with_reexec_set(problem: TriCritProblem, reexec: Iterable[TaskId], *,
+                          method: str = "auto",
+                          solver_name: str = "tricrit-restricted") -> SolveResult:
+    """Optimal continuous speeds for a *fixed* re-execution set.
+
+    Returns an infeasible :class:`SolveResult` when even the maximum speeds
+    cannot accommodate the chosen re-executions within the deadline.
+    """
+    reexec_set = frozenset(t for t in reexec if problem.graph.weight(t) > 0)
+    result = _restricted_convex(problem, reexec_set, method=method)
+    if not result.feasible:
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver=solver_name,
+                           metadata={"reexecuted": sorted(map(str, reexec_set)),
+                                     "message": result.solver_message})
+    graph = problem.graph
+    decisions = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        if w <= 0:
+            decisions[t] = TaskDecision.single(t, w, problem.platform.fmax)
+            continue
+        speed = result.speeds[t]
+        if t in reexec_set:
+            # ``speed`` is the speed of the effective task of weight 2w; both
+            # actual executions run at that same speed.
+            decisions[t] = TaskDecision.reexecuted(t, w, speed, speed)
+        else:
+            decisions[t] = TaskDecision.single(t, w, speed)
+    schedule = Schedule(problem.mapping, problem.platform, decisions)
+    return SolveResult(schedule=schedule, energy=schedule.energy(), status="feasible",
+                       solver=solver_name,
+                       metadata={"reexecuted": sorted(map(str, reexec_set)),
+                                 "convex_status": result.status})
+
+
+def solve_tricrit_no_reexec(problem: TriCritProblem, *,
+                            method: str = "auto") -> SolveResult:
+    """Reliable baseline without any re-execution: every task at >= f_rel."""
+    return solve_with_reexec_set(problem, (), method=method,
+                                 solver_name="tricrit-no-reexec")
+
+
+# ----------------------------------------------------------------------
+# candidate scoring
+# ----------------------------------------------------------------------
+def _slacks(problem: TriCritProblem, schedule: Schedule) -> dict[TaskId, float]:
+    """Scheduling slack of every task under the current durations."""
+    augmented = problem.mapping.augmented_graph()
+    durations = schedule.durations()
+    earliest: dict[TaskId, float] = {}
+    finish: dict[TaskId, float] = {}
+    order = augmented.topological_order()
+    for t in order:
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        earliest[t] = s
+        finish[t] = s + durations[t]
+    latest_finish: dict[TaskId, float] = {}
+    latest_start: dict[TaskId, float] = {}
+    for t in reversed(order):
+        succs = augmented.successors(t)
+        lf = min((latest_start[s] for s in succs), default=problem.deadline)
+        latest_finish[t] = lf
+        latest_start[t] = lf - durations[t]
+    return {t: latest_start[t] - earliest[t] for t in order}
+
+
+def _energy_gain_estimate(problem: TriCritProblem, schedule: Schedule,
+                          slacks: dict[TaskId, float], task: TaskId) -> float:
+    """Optimistic estimate of the energy saved by re-executing ``task``.
+
+    Compares the current single-execution energy with the cheapest
+    re-execution that fits in the task's current duration plus its slack.
+    """
+    graph = problem.graph
+    platform = problem.platform
+    model = problem.reliability()
+    w = graph.weight(task)
+    if w <= 0:
+        return -math.inf
+    decision = schedule.decisions[task]
+    current_energy = decision.energy(platform.energy_model.exponent)
+    budget = decision.worst_case_duration + max(slacks.get(task, 0.0), 0.0)
+    if budget <= 0:
+        return -math.inf
+    floor = reexecution_speed_floor(model, w, platform.fmin)
+    speed = max(2.0 * w / budget, floor)
+    if speed > platform.fmax * (1.0 + 1e-12):
+        return -math.inf
+    candidate_energy = 2.0 * w * speed ** (platform.energy_model.exponent - 1.0)
+    return current_energy - candidate_energy
+
+
+def _greedy_growth(problem: TriCritProblem, *, score: str,
+                   candidates_per_round: int, method: str,
+                   solver_name: str) -> SolveResult:
+    current = solve_tricrit_no_reexec(problem, method=method)
+    if not current.feasible:
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver=solver_name,
+                           metadata={"message": "no reliable schedule without re-execution"})
+    reexec: frozenset[TaskId] = frozenset()
+    positive = [t for t in problem.graph.tasks() if problem.graph.weight(t) > 0]
+    solves = 1
+    rounds = 0
+    while True:
+        rounds += 1
+        schedule = current.require_schedule()
+        slacks = _slacks(problem, schedule)
+        remaining = [t for t in positive if t not in reexec]
+        if not remaining:
+            break
+        if score == "energy_gain":
+            scored = sorted(
+                remaining,
+                key=lambda t: _energy_gain_estimate(problem, schedule, slacks, t),
+                reverse=True,
+            )
+        elif score == "slack":
+            scored = sorted(remaining, key=lambda t: slacks.get(t, 0.0), reverse=True)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown score {score!r}")
+        best_candidate: SolveResult | None = None
+        best_task: TaskId | None = None
+        for t in scored[:candidates_per_round]:
+            candidate = solve_with_reexec_set(problem, reexec | {t}, method=method,
+                                              solver_name=solver_name)
+            solves += 1
+            if candidate.feasible and candidate.energy < (
+                best_candidate.energy if best_candidate else current.energy
+            ) - 1e-12:
+                best_candidate = candidate
+                best_task = t
+        if best_candidate is None:
+            break
+        current = best_candidate
+        reexec = reexec | {best_task}
+    current.solver = solver_name
+    current.metadata.update({"convex_solves": solves, "rounds": rounds,
+                             "reexecuted": sorted(map(str, reexec))})
+    return current
+
+
+# ----------------------------------------------------------------------
+# the two heuristic families + combiner
+# ----------------------------------------------------------------------
+def heuristic_energy_gain(problem: TriCritProblem, *, candidates_per_round: int = 3,
+                          method: str = "auto") -> SolveResult:
+    """Chain-style heuristic: grow the re-execution set by estimated energy gain."""
+    return _greedy_growth(problem, score="energy_gain",
+                          candidates_per_round=candidates_per_round, method=method,
+                          solver_name="tricrit-heuristic-energy-gain")
+
+
+def heuristic_parallel_slack(problem: TriCritProblem, *, candidates_per_round: int = 3,
+                             method: str = "auto") -> SolveResult:
+    """Fork-style heuristic: prefer highly parallelisable (large-slack) tasks."""
+    return _greedy_growth(problem, score="slack",
+                          candidates_per_round=candidates_per_round, method=method,
+                          solver_name="tricrit-heuristic-parallel-slack")
+
+
+def best_of_heuristics(problem: TriCritProblem, *, candidates_per_round: int = 3,
+                       method: str = "auto") -> SolveResult:
+    """Take the best of the two families (the paper's recommended combination)."""
+    a = heuristic_energy_gain(problem, candidates_per_round=candidates_per_round,
+                              method=method)
+    b = heuristic_parallel_slack(problem, candidates_per_round=candidates_per_round,
+                                 method=method)
+    best = a if a.energy <= b.energy else b
+    other = b if best is a else a
+    result = SolveResult(schedule=best.schedule, energy=best.energy, status=best.status,
+                         solver="tricrit-heuristic-best-of",
+                         metadata={
+                             "winner": best.solver,
+                             "energy_gain_heuristic": a.energy,
+                             "parallel_slack_heuristic": b.energy,
+                             "reexecuted": best.metadata.get("reexecuted", []),
+                         })
+    return result
+
+
+#: Registry used by the heuristic-comparison experiment (E9).
+TRICRIT_HEURISTICS = {
+    "no_reexec": solve_tricrit_no_reexec,
+    "energy_gain": heuristic_energy_gain,
+    "parallel_slack": heuristic_parallel_slack,
+    "best_of": best_of_heuristics,
+}

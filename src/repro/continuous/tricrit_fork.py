@@ -1,0 +1,340 @@
+"""TRI-CRIT CONTINUOUS on a fork: the paper's polynomial-time algorithm.
+
+Section III: "We were also able to find a polynomial time algorithm to solve
+the problem for a fork. [...] those highly parallelizable tasks should be
+preferred when allocating time slots for re-execution or deceleration."
+
+On a fork the structure of any schedule is simple: the source ``T_0``
+executes first (once or twice) and finishes at some time ``t_0``; all the
+children then run concurrently, each on its own processor, within the
+remaining budget ``D - t_0``.  Given its time budget ``B`` a task is solved
+independently and optimally in O(1):
+
+* single execution: speed ``max(w/B, f_rel)`` (feasible when ``<= fmax``),
+  energy ``w f^2``;
+* re-execution: both attempts at speed ``max(2w/B, floor)`` where ``floor``
+  is the slowest equal speed meeting the reliability constraint twice,
+  energy ``2 w f^2``;
+* the task picks the cheaper feasible option.
+
+The per-task energy as a function of the budget is piecewise smooth with a
+constant number of breakpoints (speed-clamping kinks plus the
+single/re-execution crossover), so the total energy as a function of ``t_0``
+has O(n) breakpoints; minimising it by scanning the breakpoint intervals
+(convex inside each interval) yields a polynomial-time algorithm
+(:func:`solve_tricrit_fork`).  :func:`solve_tricrit_fork_bruteforce`
+enumerates all ``2^(n+1)`` re-execution configurations as ground truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from ..core.problems import SolveResult, TriCritProblem
+from ..core.reliability import ReliabilityModel
+from ..core.schedule import Schedule, TaskDecision
+from ..dag.taskgraph import TaskId
+from .tricrit_chain import reexecution_speed_floor
+
+__all__ = [
+    "TaskBudgetChoice",
+    "best_choice_for_budget",
+    "solve_tricrit_fork",
+    "solve_tricrit_fork_bruteforce",
+]
+
+
+@dataclass(frozen=True)
+class TaskBudgetChoice:
+    """Optimal decision of one task given a time budget."""
+
+    reexecute: bool
+    speed: float
+    energy: float
+    duration: float
+    feasible: bool
+
+
+def _single_choice(weight: float, budget: float, frel: float, fmax: float,
+                   exponent: float) -> TaskBudgetChoice:
+    if weight <= 0:
+        return TaskBudgetChoice(False, fmax, 0.0, 0.0, True)
+    if budget <= 0:
+        return TaskBudgetChoice(False, fmax, math.inf, math.inf, False)
+    speed = max(weight / budget, frel)
+    if speed > fmax * (1.0 + 1e-12):
+        return TaskBudgetChoice(False, fmax, math.inf, math.inf, False)
+    energy = weight * speed ** (exponent - 1.0)
+    return TaskBudgetChoice(False, speed, energy, weight / speed, True)
+
+
+def _reexec_choice(weight: float, budget: float, floor: float, fmax: float,
+                   exponent: float) -> TaskBudgetChoice:
+    if weight <= 0:
+        return TaskBudgetChoice(False, fmax, 0.0, 0.0, True)
+    if budget <= 0:
+        return TaskBudgetChoice(True, fmax, math.inf, math.inf, False)
+    speed = max(2.0 * weight / budget, floor)
+    if speed > fmax * (1.0 + 1e-12):
+        return TaskBudgetChoice(True, fmax, math.inf, math.inf, False)
+    energy = 2.0 * weight * speed ** (exponent - 1.0)
+    return TaskBudgetChoice(True, speed, energy, 2.0 * weight / speed, True)
+
+
+def best_choice_for_budget(weight: float, budget: float, *, model: ReliabilityModel,
+                           fmin: float, fmax: float,
+                           exponent: float = 3.0,
+                           force: bool | None = None) -> TaskBudgetChoice:
+    """Cheapest feasible decision (single vs re-executed) for one task.
+
+    ``force`` pins the decision (used by the brute-force reference): ``True``
+    forces re-execution, ``False`` forces a single execution, ``None`` lets
+    the task choose.
+    """
+    frel = max(model.frel, fmin)
+    floor = reexecution_speed_floor(model, weight, fmin)
+    single = _single_choice(weight, budget, frel, fmax, exponent)
+    reexec = _reexec_choice(weight, budget, floor, fmax, exponent)
+    if force is True:
+        return reexec
+    if force is False:
+        return single
+    if not single.feasible:
+        return reexec
+    if not reexec.feasible:
+        return single
+    return reexec if reexec.energy < single.energy else single
+
+
+def _fork_instance(problem: TriCritProblem) -> tuple[TaskId, list[TaskId]]:
+    is_fork, source = problem.graph.is_fork()
+    if not is_fork:
+        raise ValueError("the fork solvers require a fork task graph")
+    if any(len(tasks) > 1 for tasks in problem.mapping.as_lists()):
+        raise ValueError("the fork solvers require one task per processor")
+    children = [t for t in problem.graph.tasks() if t != source]
+    return source, children
+
+
+def _total_energy(problem: TriCritProblem, t0: float, *,
+                  source: TaskId, children: list[TaskId],
+                  force: dict[TaskId, bool] | None = None) -> tuple[float, dict[TaskId, TaskBudgetChoice]]:
+    graph = problem.graph
+    platform = problem.platform
+    model = problem.reliability()
+    a = platform.energy_model.exponent
+    choices: dict[TaskId, TaskBudgetChoice] = {}
+    total = 0.0
+    src_choice = best_choice_for_budget(
+        graph.weight(source), t0, model=model, fmin=platform.fmin, fmax=platform.fmax,
+        exponent=a, force=None if force is None else force.get(source),
+    )
+    choices[source] = src_choice
+    if not src_choice.feasible:
+        return math.inf, choices
+    total += src_choice.energy
+    remaining = problem.deadline - t0
+    for child in children:
+        choice = best_choice_for_budget(
+            graph.weight(child), remaining, model=model, fmin=platform.fmin,
+            fmax=platform.fmax, exponent=a,
+            force=None if force is None else force.get(child),
+        )
+        choices[child] = choice
+        if not choice.feasible:
+            return math.inf, choices
+        total += choice.energy
+    return total, choices
+
+
+def _choices_to_result(problem: TriCritProblem, t0: float,
+                       choices: dict[TaskId, TaskBudgetChoice],
+                       solver: str, extra: dict | None = None) -> SolveResult:
+    graph = problem.graph
+    decisions = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        choice = choices[t]
+        if w <= 0:
+            decisions[t] = TaskDecision.single(t, w, problem.platform.fmax)
+        elif choice.reexecute:
+            decisions[t] = TaskDecision.reexecuted(t, w, choice.speed, choice.speed)
+        else:
+            decisions[t] = TaskDecision.single(t, w, choice.speed)
+    schedule = Schedule(problem.mapping, problem.platform, decisions)
+    metadata = {
+        "source_finish_time": t0,
+        "reexecuted": sorted(str(t) for t, c in choices.items() if c.reexecute and graph.weight(t) > 0),
+    }
+    if extra:
+        metadata.update(extra)
+    return SolveResult(schedule=schedule, energy=schedule.energy(), status="optimal",
+                       solver=solver, metadata=metadata)
+
+
+def _breakpoints(problem: TriCritProblem, source: TaskId,
+                 children: list[TaskId]) -> list[float]:
+    graph = problem.graph
+    platform = problem.platform
+    model = problem.reliability()
+    D = problem.deadline
+    frel = max(model.frel, platform.fmin)
+    points: set[float] = set()
+
+    def task_breakpoints(weight: float) -> list[float]:
+        if weight <= 0:
+            return []
+        floor = reexecution_speed_floor(model, weight, platform.fmin)
+        return [
+            weight / platform.fmax,
+            2.0 * weight / platform.fmax,
+            weight / frel,
+            2.0 * weight / floor,
+            2.0 * math.sqrt(2.0) * weight / frel,  # single/re-exec crossover
+        ]
+
+    for b in task_breakpoints(graph.weight(source)):
+        points.add(b)
+    for child in children:
+        for b in task_breakpoints(graph.weight(child)):
+            points.add(D - b)
+    return sorted(points)
+
+
+def solve_tricrit_fork(problem: TriCritProblem, *, grid_per_interval: int = 8) -> SolveResult:
+    """Polynomial-time TRI-CRIT solver for forks (breakpoint-interval scan)."""
+    source, children = _fork_instance(problem)
+    graph = problem.graph
+    platform = problem.platform
+    D = problem.deadline
+
+    w0 = graph.weight(source)
+    max_child_min = max(
+        (graph.weight(c) / platform.fmax for c in children if graph.weight(c) > 0),
+        default=0.0,
+    )
+    t0_min = w0 / platform.fmax if w0 > 0 else 0.0
+    t0_max = D - max_child_min
+    if t0_min > t0_max * (1.0 + 1e-12) or (w0 > 0 and t0_min > D):
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="tricrit-fork-poly",
+                           metadata={"message": "deadline too tight even at fmax"})
+    if w0 <= 0 and not children:
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="tricrit-fork-poly", metadata={"message": "empty fork"})
+
+    candidates = [t0_min, t0_max]
+    candidates.extend(
+        b for b in _breakpoints(problem, source, children) if t0_min <= b <= t0_max
+    )
+    candidates = sorted(set(candidates))
+
+    def energy_at(t0: float) -> float:
+        value = _total_energy(problem, t0, source=source, children=children)[0]
+        # minimize_scalar dislikes infinities; a large finite penalty keeps
+        # the bracketing arithmetic well defined.
+        return value if math.isfinite(value) else 1e300
+
+    best_t0 = None
+    best_energy = math.inf
+    # Evaluate breakpoints themselves plus a bounded scalar minimisation on
+    # every interval (the per-interval restriction is smooth and convex).
+    for t0 in candidates:
+        e = energy_at(t0)
+        if e < best_energy:
+            best_energy, best_t0 = e, t0
+    for left, right in zip(candidates[:-1], candidates[1:]):
+        if right - left <= 1e-12:
+            continue
+        res = sciopt.minimize_scalar(energy_at, bounds=(left, right), method="bounded",
+                                     options={"xatol": 1e-8})
+        if res.fun < best_energy:
+            best_energy, best_t0 = float(res.fun), float(res.x)
+        # Guard against a non-convex corner case: coarse grid inside the interval.
+        for k in range(1, grid_per_interval):
+            t0 = left + (right - left) * k / grid_per_interval
+            e = energy_at(t0)
+            if e < best_energy:
+                best_energy, best_t0 = e, t0
+
+    if best_t0 is None or not math.isfinite(best_energy) or best_energy >= 1e299:
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="tricrit-fork-poly",
+                           metadata={"message": "no feasible source finish time"})
+    _, choices = _total_energy(problem, best_t0, source=source, children=children)
+    return _choices_to_result(problem, best_t0, choices, "tricrit-fork-poly",
+                              {"intervals": len(candidates) - 1})
+
+
+def solve_tricrit_fork_bruteforce(problem: TriCritProblem, *,
+                                  max_tasks: int = 16) -> SolveResult:
+    """Exhaustive reference: enumerate every re-execution configuration.
+
+    For each of the ``2^(n+1)`` configurations the energy is a convex
+    function of the source finish time ``t_0`` and is minimised with a
+    bounded scalar search.  Exponential -- only for small forks / tests.
+    """
+    source, children = _fork_instance(problem)
+    graph = problem.graph
+    platform = problem.platform
+    D = problem.deadline
+    tasks = [source] + children
+    if len(tasks) > max_tasks:
+        raise ValueError(
+            f"brute force limited to {max_tasks} tasks (got {len(tasks)})"
+        )
+    positive_tasks = [t for t in tasks if graph.weight(t) > 0]
+
+    w0 = graph.weight(source)
+    max_child_min = max(
+        (graph.weight(c) / platform.fmax for c in children if graph.weight(c) > 0),
+        default=0.0,
+    )
+    t0_min = max(w0 / platform.fmax if w0 > 0 else 0.0, 1e-12)
+    t0_max = D - max_child_min
+
+    best_energy = math.inf
+    best = None
+    configs = 0
+    for reexec_tuple in itertools.product([False, True], repeat=len(positive_tasks)):
+        force = dict(zip(positive_tasks, reexec_tuple))
+        configs += 1
+        lo = 2.0 * w0 / platform.fmax if (w0 > 0 and force.get(source)) else t0_min
+        lo = max(lo, 1e-12)
+        hi = t0_max
+        if lo > hi:
+            continue
+
+        def energy_at(t0: float, force=force) -> float:
+            value = _total_energy(problem, t0, source=source, children=children,
+                                  force=force)[0]
+            return value if math.isfinite(value) else 1e300
+
+        if hi - lo <= 1e-12:
+            t_best, e_best = lo, energy_at(lo)
+        else:
+            res = sciopt.minimize_scalar(energy_at, bounds=(lo, hi), method="bounded",
+                                         options={"xatol": 1e-8})
+            t_best, e_best = float(res.x), float(res.fun)
+            for endpoint in (lo, hi):
+                e = energy_at(endpoint)
+                if e < e_best:
+                    t_best, e_best = endpoint, e
+        if e_best < best_energy:
+            best_energy = e_best
+            best = (t_best, force)
+
+    if best is None or not math.isfinite(best_energy) or best_energy >= 1e299:
+        return SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                           solver="tricrit-fork-bruteforce",
+                           metadata={"configurations": configs})
+    t0, force = best
+    _, choices = _total_energy(problem, t0, source=source, children=children, force=force)
+    return _choices_to_result(problem, t0, choices, "tricrit-fork-bruteforce",
+                              {"configurations": configs})

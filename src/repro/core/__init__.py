@@ -1,0 +1,43 @@
+"""Core models: speeds, energy, reliability, schedules and problem definitions."""
+
+from .energy import EnergyModel, energy_for_duration, reexecution_energy, task_energy
+from .problems import (
+    BiCritProblem,
+    InfeasibleProblemError,
+    SolutionReport,
+    SolveResult,
+    TriCritProblem,
+)
+from .reliability import ReliabilityModel
+from .schedule import Execution, Schedule, ScheduleViolation, TaskDecision
+from .speeds import (
+    INTEL_XSCALE_SPEEDS,
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    IncrementalSpeeds,
+    SpeedModel,
+    VddHoppingSpeeds,
+)
+
+__all__ = [
+    "EnergyModel",
+    "task_energy",
+    "reexecution_energy",
+    "energy_for_duration",
+    "ReliabilityModel",
+    "Execution",
+    "TaskDecision",
+    "Schedule",
+    "ScheduleViolation",
+    "BiCritProblem",
+    "TriCritProblem",
+    "SolutionReport",
+    "SolveResult",
+    "InfeasibleProblemError",
+    "SpeedModel",
+    "ContinuousSpeeds",
+    "DiscreteSpeeds",
+    "VddHoppingSpeeds",
+    "IncrementalSpeeds",
+    "INTEL_XSCALE_SPEEDS",
+]

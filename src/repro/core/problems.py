@@ -1,0 +1,237 @@
+"""Problem definitions: BI-CRIT and TRI-CRIT (Definitions 1 and 2 of the paper).
+
+* :class:`BiCritProblem` -- given an application graph mapped onto ``p``
+  homogeneous processors, decide the speed of every task so as to minimise
+  the total energy subject to the deadline bound ``D``.
+* :class:`TriCritProblem` -- additionally decide which tasks are re-executed
+  (and the speed of both executions) so that every task also meets its
+  reliability threshold ``R_i >= R_i(f_rel)``.
+
+Both classes bundle the instance data (graph, mapping, platform, deadline,
+and reliability model for TRI-CRIT), provide instance validation and simple
+bounds, and evaluate candidate schedules into :class:`SolutionReport`
+objects.  Solvers return :class:`SolveResult` so that every algorithm --
+closed form, convex program, LP, branch-and-bound, heuristic -- is
+interchangeable in the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..dag.taskgraph import TaskGraph, TaskId
+from .reliability import ReliabilityModel
+from .schedule import Schedule, ScheduleViolation
+
+if TYPE_CHECKING:  # imported only for type checking to avoid a package cycle
+    from ..platform.mapping import Mapping
+    from ..platform.platform import Platform
+
+__all__ = [
+    "InfeasibleProblemError",
+    "BiCritProblem",
+    "TriCritProblem",
+    "SolutionReport",
+    "SolveResult",
+]
+
+
+class InfeasibleProblemError(ValueError):
+    """Raised when an instance admits no feasible schedule at all."""
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """Evaluation of a schedule against a problem instance."""
+
+    energy: float
+    makespan: float
+    deadline: float
+    feasible: bool
+    violations: tuple[ScheduleViolation, ...]
+    num_reexecuted: int = 0
+    min_reliability_margin: float | None = None
+
+    @property
+    def deadline_slack(self) -> float:
+        return self.deadline - self.makespan
+
+
+@dataclass
+class SolveResult:
+    """Uniform return type of every solver in the library."""
+
+    schedule: Schedule | None
+    energy: float
+    status: str
+    solver: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "optimal" or self.status == "feasible"
+
+    def require_schedule(self) -> Schedule:
+        if self.schedule is None:
+            raise InfeasibleProblemError(
+                f"solver {self.solver!r} returned status {self.status!r} without a schedule"
+            )
+        return self.schedule
+
+
+@dataclass(frozen=True)
+class BiCritProblem:
+    """BI-CRIT: minimise energy subject to a deadline, mapping given."""
+
+    mapping: Mapping
+    platform: Platform
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.mapping.num_processors > self.platform.num_processors:
+            raise ValueError(
+                f"mapping uses {self.mapping.num_processors} processors but the "
+                f"platform only has {self.platform.num_processors}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TaskGraph:
+        return self.mapping.graph
+
+    @property
+    def fmin(self) -> float:
+        return self.platform.fmin
+
+    @property
+    def fmax(self) -> float:
+        return self.platform.fmax
+
+    # ------------------------------------------------------------------
+    # bounds and validation
+    # ------------------------------------------------------------------
+    def min_makespan(self) -> float:
+        """Makespan when every task runs once at ``fmax`` under this mapping."""
+        schedule = Schedule.uniform_speed(self.mapping, self.platform, self.fmax)
+        return schedule.makespan()
+
+    def is_feasible_instance(self, *, tol: float = 1e-9) -> bool:
+        """Can the deadline be met at all (running everything at fmax)?"""
+        return self.min_makespan() <= self.deadline * (1.0 + tol)
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleProblemError` when no schedule can meet D."""
+        ms = self.min_makespan()
+        if ms > self.deadline * (1.0 + 1e-9):
+            raise InfeasibleProblemError(
+                f"even at fmax the mapped makespan is {ms:.6g} > deadline {self.deadline:.6g}"
+            )
+
+    def energy_upper_bound(self) -> float:
+        """Energy of the trivial feasible schedule (everything at fmax)."""
+        return Schedule.uniform_speed(self.mapping, self.platform, self.fmax).energy()
+
+    def energy_lower_bound(self) -> float:
+        """Per-task relaxation: each task alone within D at the best allowed speed.
+
+        Each task must run at a speed of at least ``w_i / D`` (it cannot take
+        longer than the whole deadline) and at least ``fmin``; the bound sums
+        the corresponding energies and ignores every precedence constraint,
+        so it is valid for every speed model.
+        """
+        alpha = self.platform.energy_model.exponent
+        total = 0.0
+        for t in self.graph.tasks():
+            w = self.graph.weight(t)
+            if w == 0:
+                continue
+            f = max(w / self.deadline, self.fmin)
+            total += w * f ** (alpha - 1.0)
+        return total
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, schedule: Schedule) -> SolutionReport:
+        violations = schedule.violations(self.deadline)
+        return SolutionReport(
+            energy=schedule.energy(),
+            makespan=schedule.makespan(),
+            deadline=self.deadline,
+            feasible=not violations,
+            violations=tuple(violations),
+            num_reexecuted=schedule.num_reexecuted(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BiCritProblem(n={self.graph.num_tasks}, p={self.mapping.num_processors}, "
+            f"D={self.deadline:.4g}, speeds={type(self.platform.speed_model).__name__})"
+        )
+
+
+@dataclass(frozen=True)
+class TriCritProblem(BiCritProblem):
+    """TRI-CRIT: BI-CRIT plus per-task reliability constraints.
+
+    The reliability model defaults to the platform's (which itself defaults
+    to ``frel = fmax``); it can be overridden per problem instance to study
+    weaker thresholds.
+    """
+
+    reliability_model: ReliabilityModel | None = None
+
+    def reliability(self) -> ReliabilityModel:
+        if self.reliability_model is not None:
+            return self.reliability_model
+        return self.platform.reliability()
+
+    # ------------------------------------------------------------------
+    def min_makespan_with_reliability(self) -> float:
+        """Makespan of the cheapest *reliable* trivial schedule (all at frel).
+
+        A single execution at ``frel`` is the fastest way to satisfy the
+        reliability constraint without re-execution; running faster is also
+        reliable, so the minimum achievable makespan is the one at ``fmax``
+        (same as BI-CRIT).  This helper reports the makespan at ``frel`` to
+        show how much slack the reliability threshold leaves.
+        """
+        model = self.reliability()
+        schedule = Schedule.uniform_speed(self.mapping, self.platform, model.frel)
+        return schedule.makespan()
+
+    def validate(self) -> None:
+        super().validate()
+        # With a single execution at fmax every task is maximally reliable,
+        # so BI-CRIT feasibility implies TRI-CRIT feasibility; nothing more
+        # to check (re-execution only ever helps reliability).
+
+    def evaluate(self, schedule: Schedule) -> SolutionReport:
+        model = self.reliability()
+        violations = schedule.violations(
+            self.deadline, check_reliability=True, reliability_model=model
+        )
+        margins = []
+        for t in self.graph.tasks():
+            threshold = model.threshold(self.graph.weight(t))
+            margins.append(schedule.task_reliability(t, model) - threshold)
+        return SolutionReport(
+            energy=schedule.energy(),
+            makespan=schedule.makespan(),
+            deadline=self.deadline,
+            feasible=not violations,
+            violations=tuple(violations),
+            num_reexecuted=schedule.num_reexecuted(),
+            min_reliability_margin=min(margins) if margins else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        model = self.reliability()
+        return (
+            f"TriCritProblem(n={self.graph.num_tasks}, p={self.mapping.num_processors}, "
+            f"D={self.deadline:.4g}, frel={model.frel:.4g})"
+        )

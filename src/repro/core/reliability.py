@@ -1,0 +1,230 @@
+"""Reliability model of the paper (Section II.b).
+
+Dynamic voltage and frequency scaling has a negative effect on transient
+fault rates (Zhu et al., reference [14] of the paper): the slower a task
+runs, the more likely it is to be hit by a transient fault.  The paper
+adopts the exponential fault-rate model
+
+    ``lambda(f) = lambda0 * exp(d * (fmax - f) / (fmax - fmin))``
+
+where ``lambda0`` is the fault rate at maximum speed and ``d >= 0`` measures
+the sensitivity of the fault rate to DVFS.  The reliability of task ``T_i``
+of weight ``w_i`` executed once at speed ``f`` is, to first order in the
+(small) fault probability,
+
+    ``R_i(f) = 1 - lambda(f) * w_i / f``                        (eq. 1)
+
+because ``w_i / f`` is the exposure time of the task.  The reliability
+constraint of the TRI-CRIT problem requires every task to be at least as
+reliable as if it were executed once at a reference speed ``f_rel``:
+
+    ``R_i >= R_i(f_rel)``.
+
+A task executed once therefore needs ``f >= f_rel``.  A *re-executed* task
+(two attempts at speeds ``f1`` and ``f2``) succeeds when at least one attempt
+succeeds, so
+
+    ``R_i = 1 - (1 - R_i(f1)) * (1 - R_i(f2))``
+
+and the constraint becomes ``(1 - R_i(f1)) (1 - R_i(f2)) <= 1 - R_i(f_rel)``,
+i.e. the product of the two failure probabilities must not exceed the single
+failure probability at ``f_rel``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityModel",
+    "DEFAULT_LAMBDA0",
+    "DEFAULT_SENSITIVITY",
+]
+
+#: Default average fault rate at ``fmax`` (faults per unit of time).  The
+#: value 1e-5 is in the range used by Zhu et al. and by the companion
+#: research reports; it keeps single-task failure probabilities small so the
+#: first-order reliability expression of the paper stays accurate.
+DEFAULT_LAMBDA0 = 1e-5
+
+#: Default DVFS sensitivity exponent ``d``.  ``d = 3`` is a common choice in
+#: the literature (fault rate increases by 10^3 over the speed range when a
+#: base-10 exponential is used; here the model is natural-exponential as in
+#: the paper's equation (1)).
+DEFAULT_SENSITIVITY = 3.0
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Exponential transient-fault model with a reliability threshold speed.
+
+    Parameters
+    ----------
+    fmin, fmax:
+        Speed range of the processors; used to normalise the exponent.
+    lambda0:
+        Fault rate at ``fmax``.
+    sensitivity:
+        Exponent ``d >= 0``: how strongly lowering the speed increases the
+        fault rate.  ``d = 0`` makes the fault rate speed-independent.
+    frel:
+        Reliability reference speed.  A single execution at speed
+        ``f >= frel`` satisfies the constraint; the default is ``fmax``
+        (the strictest setting, matching the companion report where the
+        threshold is the reliability of running at maximum speed).
+    """
+
+    fmin: float
+    fmax: float
+    lambda0: float = DEFAULT_LAMBDA0
+    sensitivity: float = DEFAULT_SENSITIVITY
+    frel: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fmin <= 0 or self.fmax < self.fmin:
+            raise ValueError("need 0 < fmin <= fmax")
+        if self.lambda0 < 0:
+            raise ValueError("lambda0 must be non-negative")
+        if self.sensitivity < 0:
+            raise ValueError("sensitivity d must be non-negative")
+        frel = self.fmax if self.frel is None else self.frel
+        if not (self.fmin <= frel <= self.fmax):
+            raise ValueError(
+                f"frel={frel} must lie in [fmin={self.fmin}, fmax={self.fmax}]"
+            )
+        object.__setattr__(self, "frel", float(frel))
+
+    # ------------------------------------------------------------------
+    # fault rate and per-execution reliability
+    # ------------------------------------------------------------------
+    def fault_rate(self, speed):
+        """Fault rate ``lambda(f) = lambda0 * exp(d (fmax-f)/(fmax-fmin))``."""
+        f = np.asarray(speed, dtype=float)
+        if self.fmax == self.fmin:
+            scale = np.zeros_like(f)
+        else:
+            scale = (self.fmax - f) / (self.fmax - self.fmin)
+        result = self.lambda0 * np.exp(self.sensitivity * scale)
+        if np.isscalar(speed):
+            return float(result)
+        return result
+
+    def failure_probability(self, weight, speed):
+        """Failure probability of one execution: ``lambda(f) * w / f``.
+
+        This is the first-order expression used in the paper's equation (1).
+        Values are clipped to ``[0, 1]`` so that extreme parameter choices
+        still yield a valid probability.
+        """
+        w = np.asarray(weight, dtype=float)
+        f = np.asarray(speed, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("speeds must be positive")
+        p = self.fault_rate(f) * w / f
+        p = np.clip(p, 0.0, 1.0)
+        if np.isscalar(weight) and np.isscalar(speed):
+            return float(p)
+        return p
+
+    def reliability(self, weight, speed):
+        """Reliability of a single execution, ``R_i(f) = 1 - lambda(f) w/f``."""
+        result = 1.0 - self.failure_probability(weight, speed)
+        return result
+
+    def reexecution_reliability(self, weight, speed_first, speed_second):
+        """Reliability of two independent attempts at the given speeds."""
+        p1 = self.failure_probability(weight, speed_first)
+        p2 = self.failure_probability(weight, speed_second)
+        result = 1.0 - p1 * p2
+        if np.isscalar(weight) and np.isscalar(speed_first) and np.isscalar(speed_second):
+            return float(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # constraint helpers
+    # ------------------------------------------------------------------
+    def threshold(self, weight) -> float:
+        """Reliability threshold ``R_i(frel)`` of a task of given weight."""
+        return self.reliability(weight, self.frel)
+
+    def threshold_failure(self, weight) -> float:
+        """Failure-probability budget ``1 - R_i(frel)`` of a task."""
+        return self.failure_probability(weight, self.frel)
+
+    def single_execution_ok(self, weight, speed, *, tol: float = 1e-12) -> bool:
+        """Does one execution at ``speed`` meet the reliability constraint?
+
+        Since reliability is increasing in speed this is equivalent to
+        ``speed >= frel`` for any positive weight (and trivially true for a
+        zero-weight task); the direct probability comparison is used so that
+        the tolerance handling matches the solvers.
+        """
+        return bool(
+            self.failure_probability(weight, speed)
+            <= self.threshold_failure(weight) + tol
+        )
+
+    def reexecution_ok(self, weight, speed_first, speed_second, *,
+                       tol: float = 1e-12) -> bool:
+        """Do two executions at the given speeds meet the constraint?"""
+        p1 = self.failure_probability(weight, speed_first)
+        p2 = self.failure_probability(weight, speed_second)
+        return bool(p1 * p2 <= self.threshold_failure(weight) + tol)
+
+    def min_equal_reexecution_speed(self, weight, *, tol: float = 1e-12) -> float:
+        """Smallest speed ``f`` such that two executions at ``f`` are reliable enough.
+
+        Solves ``failure(w, f)^2 <= threshold_failure(w)`` by bisection on
+        ``[fmin, frel]``.  Because failure probability is decreasing in ``f``
+        and ``failure(w, frel)^2 <= failure(w, frel)`` always holds (failure
+        probabilities are at most 1), a solution always exists in that
+        interval; the returned speed is clipped to ``fmin`` when even the
+        slowest speed is reliable enough.
+        """
+        budget = self.threshold_failure(weight)
+        if budget <= 0.0:
+            # Threshold is perfect reliability: only achievable when the
+            # failure probability is exactly zero, i.e. lambda0 == 0.
+            if self.lambda0 == 0.0:
+                return self.fmin
+            return float(self.frel)
+
+        def excess(f: float) -> float:
+            p = self.failure_probability(weight, f)
+            return p * p - budget
+
+        lo, hi = self.fmin, float(self.frel)
+        if excess(lo) <= tol:
+            return lo
+        if excess(hi) > tol:
+            # Should not happen (p(frel)^2 <= p(frel) = budget), but guard
+            # against degenerate parameters.
+            return hi
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if excess(mid) <= 0.0:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo <= 1e-14 * max(1.0, hi):
+                break
+        return hi
+
+    def min_single_execution_speed(self, weight) -> float:
+        """Smallest speed meeting the constraint with a single execution.
+
+        Equals ``frel`` for every positive weight because reliability is
+        increasing in speed and the threshold is defined at ``frel``.
+        """
+        if np.asarray(weight, dtype=float).size and np.all(np.asarray(weight) == 0):
+            return self.fmin
+        return float(self.frel)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReliabilityModel(fmin={self.fmin}, fmax={self.fmax}, "
+            f"lambda0={self.lambda0}, d={self.sensitivity}, frel={self.frel})"
+        )

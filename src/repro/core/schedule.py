@@ -1,0 +1,356 @@
+"""Schedule representation: speed and re-execution decisions for every task.
+
+Given a task graph, a mapping and a platform, a *schedule* in the sense of
+the paper consists of, for every task:
+
+* the number of executions (one, or two when the task is re-executed), and
+* the speed profile of each execution -- a single constant speed under the
+  CONTINUOUS / DISCRETE / INCREMENTAL models, or a sequence of
+  ``(speed, duration)`` intervals under VDD-HOPPING.
+
+From those decisions everything else is derived deterministically:
+
+* the worst-case duration of a task is the total time of *all* its
+  executions (the deadline must hold even when every first attempt fails);
+* start/finish times follow from longest paths in the augmented graph
+  (precedence edges plus same-processor ordering edges);
+* the energy charges every execution (worst-case accounting, Section II.c);
+* reliability of an execution with intervals ``(f_j, t_j)`` uses the
+  exposure-weighted fault probability ``sum_j lambda(f_j) * t_j``, which
+  reduces to the paper's ``lambda(f) * w/f`` for a constant speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping as TMapping, Sequence
+
+import numpy as np
+
+from ..dag.taskgraph import TaskGraph, TaskId
+from .reliability import ReliabilityModel
+
+if TYPE_CHECKING:  # imported only for type checking to avoid a package cycle
+    from ..platform.mapping import Mapping
+    from ..platform.platform import Platform
+
+__all__ = ["Execution", "TaskDecision", "Schedule", "ScheduleViolation"]
+
+_WORK_TOL = 1e-6
+_TIME_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One execution (attempt) of a task: a sequence of constant-speed intervals."""
+
+    intervals: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ValueError("an execution needs at least one interval")
+        for speed, duration in self.intervals:
+            if speed <= 0:
+                raise ValueError(f"interval speed must be positive, got {speed}")
+            if duration < 0:
+                raise ValueError(f"interval duration must be non-negative, got {duration}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def at_speed(cls, weight: float, speed: float) -> "Execution":
+        """Single constant-speed execution of ``weight`` units of work."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        duration = weight / speed if weight > 0 else 0.0
+        return cls(intervals=((float(speed), float(duration)),))
+
+    @classmethod
+    def from_intervals(cls, intervals: Iterable[tuple[float, float]]) -> "Execution":
+        return cls(intervals=tuple((float(f), float(t)) for f, t in intervals))
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        return sum(t for _, t in self.intervals)
+
+    @property
+    def work(self) -> float:
+        return sum(f * t for f, t in self.intervals)
+
+    @property
+    def is_constant_speed(self) -> bool:
+        return len(self.intervals) == 1
+
+    @property
+    def speeds(self) -> tuple[float, ...]:
+        return tuple(f for f, _ in self.intervals)
+
+    def mean_speed(self) -> float:
+        """Work divided by duration."""
+        d = self.duration
+        return self.work / d if d > 0 else 0.0
+
+    def energy(self, exponent: float = 3.0) -> float:
+        """Dynamic energy of this execution: ``sum f_j^alpha * t_j``."""
+        return sum(f ** exponent * t for f, t in self.intervals)
+
+    def failure_probability(self, model: ReliabilityModel) -> float:
+        """Exposure-weighted transient-fault probability of this execution."""
+        p = sum(float(model.fault_rate(f)) * t for f, t in self.intervals)
+        return min(max(p, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class TaskDecision:
+    """All executions scheduled for one task (one, or two with re-execution)."""
+
+    task_id: TaskId
+    executions: tuple[Execution, ...]
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.executions) <= 2):
+            raise ValueError(
+                "the paper's re-execution model allows one or two executions per task"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, task_id: TaskId, weight: float, speed: float) -> "TaskDecision":
+        return cls(task_id, (Execution.at_speed(weight, speed),))
+
+    @classmethod
+    def reexecuted(cls, task_id: TaskId, weight: float, speed_first: float,
+                   speed_second: float) -> "TaskDecision":
+        return cls(
+            task_id,
+            (Execution.at_speed(weight, speed_first),
+             Execution.at_speed(weight, speed_second)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_reexecuted(self) -> bool:
+        return len(self.executions) == 2
+
+    @property
+    def worst_case_duration(self) -> float:
+        """Total time if every execution has to run (deadline accounting)."""
+        return sum(e.duration for e in self.executions)
+
+    def energy(self, exponent: float = 3.0) -> float:
+        return sum(e.energy(exponent) for e in self.executions)
+
+    def reliability(self, model: ReliabilityModel) -> float:
+        """Probability that at least one execution succeeds."""
+        failure = 1.0
+        for e in self.executions:
+            failure *= e.failure_probability(model)
+        return 1.0 - failure
+
+    def speeds(self) -> tuple[float, ...]:
+        """All constant speeds appearing in the decision (flat)."""
+        return tuple(f for e in self.executions for f in e.speeds)
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """One feasibility violation found by :meth:`Schedule.violations`."""
+
+    kind: str
+    task_id: TaskId | None
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = f"[{self.kind}]"
+        if self.task_id is not None:
+            prefix += f" task {self.task_id!r}:"
+        return f"{prefix} {self.message}"
+
+
+class Schedule:
+    """A complete set of per-task decisions for a mapped task graph."""
+
+    def __init__(self, mapping: Mapping, platform: Platform,
+                 decisions: TMapping[TaskId, TaskDecision]) -> None:
+        self.mapping = mapping
+        self.platform = platform
+        self.graph: TaskGraph = mapping.graph
+        self.decisions: dict[TaskId, TaskDecision] = dict(decisions)
+        missing = set(self.graph.tasks()) - set(self.decisions)
+        if missing:
+            raise ValueError(
+                f"schedule is missing decisions for tasks: {sorted(map(str, missing))}"
+            )
+        extra = set(self.decisions) - set(self.graph.tasks())
+        if extra:
+            raise ValueError(
+                f"schedule has decisions for unknown tasks: {sorted(map(str, extra))}"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_speeds(cls, mapping: Mapping, platform: Platform,
+                    speeds: TMapping[TaskId, float]) -> "Schedule":
+        """Single execution per task at the given constant speeds."""
+        graph = mapping.graph
+        decisions = {
+            t: TaskDecision.single(t, graph.weight(t), speeds[t]) for t in graph.tasks()
+        }
+        return cls(mapping, platform, decisions)
+
+    @classmethod
+    def uniform_speed(cls, mapping: Mapping, platform: Platform, speed: float) -> "Schedule":
+        """Every task once at the same speed (e.g. the no-DVFS baseline at fmax)."""
+        return cls.from_speeds(
+            mapping, platform, {t: speed for t in mapping.graph.tasks()}
+        )
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def task_duration(self, task_id: TaskId) -> float:
+        return self.decisions[task_id].worst_case_duration
+
+    def durations(self) -> dict[TaskId, float]:
+        return {t: self.task_duration(t) for t in self.graph.tasks()}
+
+    def start_finish_times(self) -> tuple[dict[TaskId, float], dict[TaskId, float]]:
+        """Earliest start/finish times respecting precedence and processor order."""
+        augmented = self.mapping.augmented_graph()
+        durations = self.durations()
+        start: dict[TaskId, float] = {}
+        finish: dict[TaskId, float] = {}
+        for t in augmented.topological_order():
+            s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+            start[t] = s
+            finish[t] = s + durations[t]
+        return start, finish
+
+    def makespan(self) -> float:
+        """Worst-case total execution time of the schedule."""
+        _, finish = self.start_finish_times()
+        return max(finish.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # energy and reliability
+    # ------------------------------------------------------------------
+    def energy(self) -> float:
+        """Total worst-case dynamic energy (all executions charged)."""
+        alpha = self.platform.energy_model.exponent
+        dynamic = sum(d.energy(alpha) for d in self.decisions.values())
+        return float(dynamic)
+
+    def energy_with_static(self) -> float:
+        """Dynamic energy plus the static part over the makespan."""
+        return self.energy() + self.platform.energy_model.static_energy(
+            self.platform.num_processors, self.makespan()
+        )
+
+    def task_reliability(self, task_id: TaskId,
+                         model: ReliabilityModel | None = None) -> float:
+        model = model or self.platform.reliability()
+        return self.decisions[task_id].reliability(model)
+
+    def reliabilities(self, model: ReliabilityModel | None = None) -> dict[TaskId, float]:
+        model = model or self.platform.reliability()
+        return {t: self.decisions[t].reliability(model) for t in self.graph.tasks()}
+
+    def num_reexecuted(self) -> int:
+        return sum(1 for d in self.decisions.values() if d.is_reexecuted)
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def violations(self, deadline: float | None = None, *,
+                   check_reliability: bool = False,
+                   reliability_model: ReliabilityModel | None = None,
+                   speed_tol: float = 1e-6,
+                   deadline_tol: float = 1e-6,
+                   reliability_tol: float = 1e-12) -> list[ScheduleViolation]:
+        """All feasibility violations of this schedule.
+
+        Checks, in order: work conservation of every execution, speed
+        admissibility against the platform's speed model (including the
+        intra-task switching restriction), the deadline, and optionally the
+        per-task reliability thresholds.
+        """
+        out: list[ScheduleViolation] = []
+        speed_model = self.platform.speed_model
+        for t, decision in self.decisions.items():
+            w = self.graph.weight(t)
+            for k, execution in enumerate(decision.executions):
+                if abs(execution.work - w) > _WORK_TOL * max(1.0, w):
+                    out.append(ScheduleViolation(
+                        "work", t,
+                        f"execution {k} performs {execution.work:.6g} units of work, "
+                        f"task weight is {w:.6g}",
+                    ))
+                if len(execution.intervals) > 1 and not speed_model.allows_intra_task_switching:
+                    out.append(ScheduleViolation(
+                        "switching", t,
+                        "speed changes during a task are not allowed by this speed model",
+                    ))
+                for speed, _ in execution.intervals:
+                    if not speed_model.is_admissible(speed, tol=speed_tol):
+                        out.append(ScheduleViolation(
+                            "speed", t,
+                            f"speed {speed:.6g} is not admissible for {speed_model!r}",
+                        ))
+        if deadline is not None:
+            ms = self.makespan()
+            if ms > deadline * (1.0 + deadline_tol) + deadline_tol:
+                out.append(ScheduleViolation(
+                    "deadline", None,
+                    f"makespan {ms:.6g} exceeds deadline {deadline:.6g}",
+                ))
+        if check_reliability:
+            model = reliability_model or self.platform.reliability()
+            for t in self.graph.tasks():
+                threshold = model.threshold(self.graph.weight(t))
+                achieved = self.task_reliability(t, model)
+                if achieved + reliability_tol < threshold:
+                    out.append(ScheduleViolation(
+                        "reliability", t,
+                        f"reliability {achieved:.12g} below threshold {threshold:.12g}",
+                    ))
+        return out
+
+    def is_feasible(self, deadline: float | None = None, *,
+                    check_reliability: bool = False,
+                    reliability_model: ReliabilityModel | None = None,
+                    **tols) -> bool:
+        return not self.violations(
+            deadline, check_reliability=check_reliability,
+            reliability_model=reliability_model, **tols,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def speed_assignment(self) -> dict[TaskId, tuple[float, ...]]:
+        """Flat view: task -> all constant speeds used by its executions."""
+        return {t: d.speeds() for t, d in self.decisions.items()}
+
+    def summary(self, deadline: float | None = None) -> dict[str, float]:
+        """Headline metrics of the schedule (used by the reporting layer)."""
+        result = {
+            "energy": self.energy(),
+            "makespan": self.makespan(),
+            "num_tasks": float(self.graph.num_tasks),
+            "num_reexecuted": float(self.num_reexecuted()),
+        }
+        if deadline is not None:
+            result["deadline"] = float(deadline)
+            result["deadline_slack"] = float(deadline - result["makespan"])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(n={self.graph.num_tasks}, E={self.energy():.6g}, "
+            f"makespan={self.makespan():.6g}, reexec={self.num_reexecuted()})"
+        )

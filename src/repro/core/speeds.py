@@ -1,0 +1,304 @@
+"""Speed (DVFS) models from Section II of the paper.
+
+The paper distinguishes four speed models:
+
+* :class:`ContinuousSpeeds` -- a processor may run at any real speed in
+  ``[fmin, fmax]`` and may change speed at any time.  Used for the
+  theoretical results of Section III.
+* :class:`DiscreteSpeeds` -- a finite, arbitrarily distributed set of modes
+  ``f_1 < ... < f_m``; the speed is fixed for the whole duration of a task
+  but may change between tasks.  This is the classical DVFS model.
+* :class:`VddHoppingSpeeds` -- same finite set of modes, but the processor
+  may switch modes *during* a task; the energy of the task is the sum of the
+  energies of the constant-speed intervals.
+* :class:`IncrementalSpeeds` -- modes are regularly spaced,
+  ``f = fmin + i * delta`` for integer ``i``; the modern counterpart of a
+  potentiometer knob, and the model for which the paper gives an
+  approximation algorithm.
+
+All classes share the :class:`SpeedModel` interface so that the scheduling
+algorithms can be written generically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SpeedModel",
+    "ContinuousSpeeds",
+    "DiscreteSpeeds",
+    "VddHoppingSpeeds",
+    "IncrementalSpeeds",
+    "INTEL_XSCALE_SPEEDS",
+]
+
+#: Normalised speed set of the Intel XScale processor family (reference [9]
+#: of the paper).  Widely used in the DVFS literature as a realistic
+#: DISCRETE speed set.
+INTEL_XSCALE_SPEEDS: tuple[float, ...] = (0.15, 0.4, 0.6, 0.8, 1.0)
+
+_EPS = 1e-9
+
+
+def _validate_bounds(fmin: float, fmax: float) -> None:
+    if not (fmin > 0.0):
+        raise ValueError(f"fmin must be positive, got {fmin}")
+    if not (fmax >= fmin):
+        raise ValueError(f"fmax ({fmax}) must be >= fmin ({fmin})")
+    if not (math.isfinite(fmin) and math.isfinite(fmax)):
+        raise ValueError("speed bounds must be finite")
+
+
+class SpeedModel(ABC):
+    """Common interface of all speed models.
+
+    A speed model answers three questions:
+
+    * what speeds are admissible (:meth:`is_admissible`),
+    * what is the closest admissible speed at least as fast as a requested
+      speed (:meth:`round_up`) or at most as fast (:meth:`round_down`),
+    * whether the speed of a processor may change in the middle of a task
+      (:attr:`allows_intra_task_switching`).
+    """
+
+    #: True when a processor may change its speed during the execution of a
+    #: single task (CONTINUOUS and VDD-HOPPING models).
+    allows_intra_task_switching: bool = False
+
+    #: True when the set of admissible speeds is finite.
+    is_discrete: bool = False
+
+    def __init__(self, fmin: float, fmax: float) -> None:
+        _validate_bounds(fmin, fmax)
+        self.fmin = float(fmin)
+        self.fmax = float(fmax)
+
+    # ------------------------------------------------------------------
+    # admissibility
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def is_admissible(self, speed: float, *, tol: float = 1e-7) -> bool:
+        """Return ``True`` when ``speed`` is an admissible operating point."""
+
+    @abstractmethod
+    def round_up(self, speed: float) -> float:
+        """Smallest admissible speed ``>= speed``.
+
+        Raises :class:`ValueError` when ``speed`` exceeds ``fmax`` beyond
+        tolerance (the request cannot be satisfied).
+        """
+
+    @abstractmethod
+    def round_down(self, speed: float) -> float:
+        """Largest admissible speed ``<= speed``.
+
+        Raises :class:`ValueError` when ``speed`` is below ``fmin`` beyond
+        tolerance.
+        """
+
+    def clamp(self, speed: float) -> float:
+        """Project ``speed`` onto ``[fmin, fmax]`` (before any rounding)."""
+        return min(max(speed, self.fmin), self.fmax)
+
+    # ------------------------------------------------------------------
+    # helpers shared by the algorithms
+    # ------------------------------------------------------------------
+    def bracketing_speeds(self, speed: float) -> tuple[float, float]:
+        """Return admissible speeds ``(lo, hi)`` with ``lo <= speed <= hi``.
+
+        For continuous models both are ``speed`` itself (after clamping).
+        For discrete models these are the two consecutive modes surrounding
+        ``speed`` -- the pair used by the VDD-HOPPING rounding adapter of
+        Section IV of the paper.
+        """
+        s = self.clamp(speed)
+        return self.round_down(s), self.round_up(s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(fmin={self.fmin}, fmax={self.fmax})"
+
+
+class ContinuousSpeeds(SpeedModel):
+    """CONTINUOUS model: any speed in ``[fmin, fmax]`` is admissible."""
+
+    allows_intra_task_switching = True
+    is_discrete = False
+
+    def is_admissible(self, speed: float, *, tol: float = 1e-7) -> bool:
+        return self.fmin - tol <= speed <= self.fmax + tol
+
+    def round_up(self, speed: float) -> float:
+        if speed > self.fmax + _EPS:
+            raise ValueError(
+                f"requested speed {speed} exceeds fmax={self.fmax}"
+            )
+        return min(max(speed, self.fmin), self.fmax)
+
+    def round_down(self, speed: float) -> float:
+        if speed < self.fmin - _EPS:
+            raise ValueError(
+                f"requested speed {speed} is below fmin={self.fmin}"
+            )
+        return min(max(speed, self.fmin), self.fmax)
+
+
+class DiscreteSpeeds(SpeedModel):
+    """DISCRETE model: a finite, arbitrary set of modes.
+
+    The speed of a processor cannot change during the execution of a task but
+    can change from task to task.  The BI-CRIT problem is NP-complete under
+    this model (Section IV of the paper).
+    """
+
+    allows_intra_task_switching = False
+    is_discrete = True
+
+    def __init__(self, speeds: Iterable[float]) -> None:
+        modes = sorted(float(s) for s in speeds)
+        if not modes:
+            raise ValueError("at least one speed mode is required")
+        if any(s <= 0 for s in modes):
+            raise ValueError("all speed modes must be positive")
+        deduped: list[float] = []
+        for s in modes:
+            if not deduped or abs(s - deduped[-1]) > _EPS:
+                deduped.append(s)
+        super().__init__(deduped[0], deduped[-1])
+        self.speeds: tuple[float, ...] = tuple(deduped)
+
+    @property
+    def num_modes(self) -> int:
+        return len(self.speeds)
+
+    def is_admissible(self, speed: float, *, tol: float = 1e-7) -> bool:
+        return any(abs(speed - s) <= tol for s in self.speeds)
+
+    def round_up(self, speed: float) -> float:
+        if speed > self.fmax + _EPS:
+            raise ValueError(
+                f"requested speed {speed} exceeds fmax={self.fmax}"
+            )
+        for s in self.speeds:
+            if s >= speed - _EPS:
+                return s
+        return self.fmax  # pragma: no cover - unreachable by construction
+
+    def round_down(self, speed: float) -> float:
+        if speed < self.fmin - _EPS:
+            raise ValueError(
+                f"requested speed {speed} is below fmin={self.fmin}"
+            )
+        best = self.fmin
+        for s in self.speeds:
+            if s <= speed + _EPS:
+                best = s
+            else:
+                break
+        return best
+
+    def bracketing_speeds(self, speed: float) -> tuple[float, float]:
+        s = self.clamp(speed)
+        return self.round_down(s), self.round_up(s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiscreteSpeeds({list(self.speeds)})"
+
+
+class VddHoppingSpeeds(DiscreteSpeeds):
+    """VDD-HOPPING model: finite modes, switching allowed during a task.
+
+    The energy consumed during a task is the sum over constant-speed
+    intervals of ``f^3 * (interval length)``.  The BI-CRIT problem is
+    polynomial under this model (linear programming, Section IV), and an
+    optimal solution never needs more than two distinct speeds per task,
+    which can moreover be taken consecutive in the mode list.
+    """
+
+    allows_intra_task_switching = True
+
+    def consecutive_pairs(self) -> list[tuple[float, float]]:
+        """All pairs of consecutive modes ``(f_j, f_{j+1})``."""
+        return list(zip(self.speeds[:-1], self.speeds[1:]))
+
+    def hop_split(self, speed: float, work: float) -> list[tuple[float, float]]:
+        """Emulate a continuous speed ``speed`` for ``work`` units of work.
+
+        Returns a list of ``(mode, time)`` pairs, using the two consecutive
+        modes bracketing ``speed``, such that the total work equals ``work``
+        and the total time equals ``work / speed`` -- the rounding used to
+        adapt CONTINUOUS heuristics to the VDD-HOPPING model (Section IV).
+        """
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        if work == 0:
+            return []
+        s = self.clamp(speed)
+        lo, hi = self.bracketing_speeds(s)
+        total_time = work / s
+        if abs(hi - lo) <= _EPS:
+            return [(lo, total_time)]
+        # Solve: t_lo + t_hi = total_time ; lo*t_lo + hi*t_hi = work.
+        t_hi = (work - lo * total_time) / (hi - lo)
+        t_lo = total_time - t_hi
+        # Numerical guard: tiny negatives from floating point are clipped.
+        t_hi = max(t_hi, 0.0)
+        t_lo = max(t_lo, 0.0)
+        parts = []
+        if t_lo > _EPS:
+            parts.append((lo, t_lo))
+        if t_hi > _EPS:
+            parts.append((hi, t_hi))
+        return parts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VddHoppingSpeeds({list(self.speeds)})"
+
+
+class IncrementalSpeeds(DiscreteSpeeds):
+    """INCREMENTAL model: regularly spaced modes ``fmin + i * delta``.
+
+    ``delta`` is the minimum permissible speed increment.  Admissible speeds
+    lie in ``[fmin, fmax]``; the largest mode is ``fmin + floor((fmax -
+    fmin)/delta) * delta`` which may be strictly below the physical ``fmax``
+    when the range is not a multiple of ``delta``.
+
+    The paper proves BI-CRIT NP-complete under this model but gives an
+    approximation within ``(1 + delta/fmin)^2 (1 + 1/K)^2`` computable in
+    time polynomial in the instance size and in ``K``
+    (:mod:`repro.discrete.incremental_approx`).
+    """
+
+    allows_intra_task_switching = False
+
+    def __init__(self, fmin: float, fmax: float, delta: float) -> None:
+        _validate_bounds(fmin, fmax)
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        n_steps = int(math.floor((fmax - fmin) / delta + 1e-12))
+        modes = [fmin + i * delta for i in range(n_steps + 1)]
+        super().__init__(modes)
+        self.delta = float(delta)
+        #: physical maximum speed of the processor; the top *mode* is
+        #: ``self.fmax`` which may be lower when (fmax-fmin) % delta != 0.
+        self.physical_fmax = float(fmax)
+
+    def mode_index(self, speed: float, *, tol: float = 1e-7) -> int:
+        """Index ``i`` such that ``speed == fmin + i*delta`` (within tol)."""
+        i = round((speed - self.fmin) / self.delta)
+        if not (0 <= i < self.num_modes):
+            raise ValueError(f"{speed} is not an admissible incremental mode")
+        if abs(self.fmin + i * self.delta - speed) > tol:
+            raise ValueError(f"{speed} is not an admissible incremental mode")
+        return int(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalSpeeds(fmin={self.fmin}, fmax={self.physical_fmax}, "
+            f"delta={self.delta}, modes={self.num_modes})"
+        )

@@ -1,0 +1,30 @@
+"""Task-graph substrate: weighted DAGs, generators, analysis and serialisation."""
+
+from . import analysis, generators, io
+from .series_parallel import (
+    NotSeriesParallelError,
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    decompose,
+    is_series_parallel,
+    sp_tree_to_taskgraph,
+)
+from .taskgraph import Task, TaskGraph
+
+__all__ = [
+    "TaskGraph",
+    "Task",
+    "generators",
+    "analysis",
+    "io",
+    "SPNode",
+    "SPLeaf",
+    "SPSeries",
+    "SPParallel",
+    "decompose",
+    "is_series_parallel",
+    "sp_tree_to_taskgraph",
+    "NotSeriesParallelError",
+]

@@ -1,0 +1,353 @@
+"""Synthetic task-graph generators.
+
+The paper evaluates its heuristics on "a wide class of problem instances";
+the companion research reports use linear chains, forks/joins, trees,
+series-parallel graphs and random layered DAGs.  This module provides
+deterministic and random generators for all of those classes, plus a few
+structured application-like DAGs (FFT butterflies, stencil sweeps,
+fork-join phases) that stand in for real HPC workloads.
+
+All random generators accept either an integer seed or a
+:class:`numpy.random.Generator` so that experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "chain",
+    "fork",
+    "join",
+    "fork_join",
+    "out_tree",
+    "in_tree",
+    "random_chain",
+    "random_fork",
+    "random_weights",
+    "random_series_parallel",
+    "random_layered_dag",
+    "random_dag_erdos",
+    "fft_butterfly",
+    "stencil_1d",
+    "phase_fork_join",
+    "GENERATOR_REGISTRY",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _positive_weights(rng: np.random.Generator, n: int, low: float, high: float) -> np.ndarray:
+    if low <= 0 or high < low:
+        raise ValueError("need 0 < low <= high for random weights")
+    return rng.uniform(low, high, size=n)
+
+
+# ----------------------------------------------------------------------
+# deterministic elementary structures
+# ----------------------------------------------------------------------
+def chain(weights: Sequence[float], *, prefix: str = "T") -> TaskGraph:
+    """Linear chain ``T0 -> T1 -> ... -> T_{n-1}`` with the given weights."""
+    weights = list(weights)
+    if not weights:
+        raise ValueError("a chain needs at least one task")
+    names = [f"{prefix}{i}" for i in range(len(weights))]
+    w = dict(zip(names, weights))
+    edges = list(zip(names[:-1], names[1:]))
+    return TaskGraph(w, edges)
+
+
+def fork(source_weight: float, child_weights: Sequence[float], *,
+         prefix: str = "T") -> TaskGraph:
+    """Fork graph of the paper's theorem: source ``T0`` feeding ``n`` children."""
+    child_weights = list(child_weights)
+    names = [f"{prefix}{i}" for i in range(len(child_weights) + 1)]
+    w = {names[0]: float(source_weight)}
+    for name, cw in zip(names[1:], child_weights):
+        w[name] = float(cw)
+    edges = [(names[0], c) for c in names[1:]]
+    return TaskGraph(w, edges)
+
+
+def join(child_weights: Sequence[float], sink_weight: float, *,
+         prefix: str = "T") -> TaskGraph:
+    """Join graph: ``n`` independent tasks all feeding a final sink task."""
+    child_weights = list(child_weights)
+    names = [f"{prefix}{i}" for i in range(len(child_weights) + 1)]
+    w = {}
+    for name, cw in zip(names[:-1], child_weights):
+        w[name] = float(cw)
+    w[names[-1]] = float(sink_weight)
+    edges = [(c, names[-1]) for c in names[:-1]]
+    return TaskGraph(w, edges)
+
+
+def fork_join(source_weight: float, middle_weights: Sequence[float],
+              sink_weight: float, *, prefix: str = "T") -> TaskGraph:
+    """Fork-join: source -> n parallel tasks -> sink.  A series-parallel graph."""
+    middle_weights = list(middle_weights)
+    n = len(middle_weights)
+    names = [f"{prefix}{i}" for i in range(n + 2)]
+    w = {names[0]: float(source_weight), names[-1]: float(sink_weight)}
+    for name, mw in zip(names[1:-1], middle_weights):
+        w[name] = float(mw)
+    edges = [(names[0], m) for m in names[1:-1]] + [(m, names[-1]) for m in names[1:-1]]
+    return TaskGraph(w, edges)
+
+
+def out_tree(depth: int, branching: int, weights: Sequence[float] | float = 1.0,
+             *, prefix: str = "T") -> TaskGraph:
+    """Complete out-tree (rooted tree, edges directed away from the root).
+
+    ``depth`` is the number of levels (depth 1 = a single root); ``branching``
+    is the number of children of every internal node.  ``weights`` is either a
+    constant weight or a sequence with one entry per node in BFS order.
+    """
+    if depth < 1 or branching < 1:
+        raise ValueError("depth and branching must be at least 1")
+    num_nodes = sum(branching ** level for level in range(depth))
+    if isinstance(weights, (int, float)):
+        weight_list = [float(weights)] * num_nodes
+    else:
+        weight_list = [float(w) for w in weights]
+        if len(weight_list) != num_nodes:
+            raise ValueError(
+                f"expected {num_nodes} weights for depth={depth}, branching={branching}"
+            )
+    names = [f"{prefix}{i}" for i in range(num_nodes)]
+    w = dict(zip(names, weight_list))
+    edges = []
+    # BFS numbering: node i has children branching*i + 1 ... branching*i + branching.
+    for i in range(num_nodes):
+        for c in range(branching * i + 1, branching * i + branching + 1):
+            if c < num_nodes:
+                edges.append((names[i], names[c]))
+    return TaskGraph(w, edges)
+
+
+def in_tree(depth: int, branching: int, weights: Sequence[float] | float = 1.0,
+            *, prefix: str = "T") -> TaskGraph:
+    """Complete in-tree (edges directed towards the root)."""
+    return out_tree(depth, branching, weights, prefix=prefix).reversed()
+
+
+# ----------------------------------------------------------------------
+# random instances
+# ----------------------------------------------------------------------
+def random_weights(n: int, seed=None, *, low: float = 1.0, high: float = 10.0) -> np.ndarray:
+    """``n`` i.i.d. uniform task weights in ``[low, high]``."""
+    rng = _rng(seed)
+    return _positive_weights(rng, n, low, high)
+
+
+def random_chain(n: int, seed=None, *, low: float = 1.0, high: float = 10.0) -> TaskGraph:
+    """Linear chain of ``n`` tasks with uniform random weights."""
+    return chain(random_weights(n, seed, low=low, high=high))
+
+
+def random_fork(n_children: int, seed=None, *, low: float = 1.0,
+                high: float = 10.0) -> TaskGraph:
+    """Fork with ``n_children`` children and uniform random weights."""
+    rng = _rng(seed)
+    w = _positive_weights(rng, n_children + 1, low, high)
+    return fork(w[0], w[1:])
+
+
+def random_series_parallel(n_leaves: int, seed=None, *, low: float = 1.0,
+                           high: float = 10.0, parallel_bias: float = 0.5) -> TaskGraph:
+    """Random two-terminal series-parallel DAG with ``n_leaves`` atomic tasks.
+
+    The graph is built top-down: a composition over ``n_leaves`` leaves is
+    either a series or a parallel composition of two random sub-compositions,
+    chosen with probability ``parallel_bias`` for parallel.  Parallel
+    composition of task sets here means the two subgraphs share no edges and
+    are glued between a common (possibly empty) pair of terminals -- we use
+    the standard "source/sink chain" encoding where a parallel composition is
+    bracketed by zero-weight synchronisation is avoided by composing only
+    with series glue when a terminal is needed.  The resulting graph has the
+    property that the equivalent-weight recursion of
+    :mod:`repro.continuous.closed_form` applies exactly.
+
+    Returns the :class:`TaskGraph`; the matching decomposition can be
+    recovered with :func:`repro.dag.series_parallel.decompose`.
+    """
+    from .series_parallel import SPLeaf, SPSeries, SPParallel, sp_tree_to_taskgraph
+
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    rng = _rng(seed)
+    weights = _positive_weights(rng, n_leaves, low, high)
+    counter = iter(range(n_leaves))
+
+    def build(k: int):
+        if k == 1:
+            idx = next(counter)
+            return SPLeaf(f"T{idx}", float(weights[idx]))
+        split = int(rng.integers(1, k))
+        left = build(split)
+        right = build(k - split)
+        if rng.random() < parallel_bias:
+            return SPParallel((left, right))
+        return SPSeries((left, right))
+
+    tree = build(n_leaves)
+    return sp_tree_to_taskgraph(tree)
+
+
+def random_layered_dag(num_layers: int, width: int, seed=None, *,
+                       low: float = 1.0, high: float = 10.0,
+                       edge_probability: float = 0.4,
+                       ensure_connected: bool = True) -> TaskGraph:
+    """Random layered DAG: ``num_layers`` layers of ``width`` tasks each.
+
+    Edges only go from one layer to the next; each potential edge is present
+    with probability ``edge_probability``.  When ``ensure_connected`` is set,
+    every task in layer ``l+1`` gets at least one predecessor in layer ``l``
+    (so that the DAG depth equals ``num_layers``), which mimics the layered
+    synthetic DAGs used in the DAG-scheduling literature.
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("num_layers and width must be at least 1")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = _rng(seed)
+    n = num_layers * width
+    weights = _positive_weights(rng, n, low, high)
+    names = [f"L{layer}_{j}" for layer in range(num_layers) for j in range(width)]
+    w = dict(zip(names, weights))
+    edges: list[tuple[str, str]] = []
+    for layer in range(num_layers - 1):
+        for j in range(width):
+            dst = f"L{layer + 1}_{j}"
+            preds = []
+            for i in range(width):
+                if rng.random() < edge_probability:
+                    preds.append(f"L{layer}_{i}")
+            if ensure_connected and not preds:
+                preds.append(f"L{layer}_{int(rng.integers(0, width))}")
+            edges.extend((p, dst) for p in preds)
+    return TaskGraph(w, edges)
+
+
+def random_dag_erdos(n: int, edge_probability: float, seed=None, *,
+                     low: float = 1.0, high: float = 10.0) -> TaskGraph:
+    """Erdos-Renyi style random DAG on ``n`` tasks.
+
+    Tasks are ordered ``T0 < T1 < ... < T_{n-1}`` and each forward pair
+    ``(Ti, Tj)``, ``i < j`` is an edge with probability ``edge_probability``.
+    """
+    if n < 1:
+        raise ValueError("need at least one task")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = _rng(seed)
+    weights = _positive_weights(rng, n, low, high)
+    names = [f"T{i}" for i in range(n)]
+    w = dict(zip(names, weights))
+    edges = [
+        (names[i], names[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return TaskGraph(w, edges)
+
+
+# ----------------------------------------------------------------------
+# application-like structured DAGs
+# ----------------------------------------------------------------------
+def fft_butterfly(stages: int, *, weight: float = 1.0, prefix: str = "fft") -> TaskGraph:
+    """Butterfly DAG of an FFT over ``2**stages`` points.
+
+    Each of the ``stages`` levels contains ``2**stages`` tasks; task ``j`` of
+    level ``l+1`` depends on tasks ``j`` and ``j XOR 2**l`` of level ``l``.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    n = 2 ** stages
+    w = {}
+    edges = []
+    for level in range(stages + 1):
+        for j in range(n):
+            w[f"{prefix}_{level}_{j}"] = float(weight)
+    for level in range(stages):
+        for j in range(n):
+            dst = f"{prefix}_{level + 1}_{j}"
+            edges.append((f"{prefix}_{level}_{j}", dst))
+            edges.append((f"{prefix}_{level}_{j ^ (1 << level)}", dst))
+    return TaskGraph(w, edges)
+
+
+def stencil_1d(width: int, steps: int, *, weight: float = 1.0,
+               prefix: str = "st") -> TaskGraph:
+    """1-D stencil sweep: ``steps`` time steps over ``width`` cells.
+
+    Cell ``j`` at step ``t+1`` depends on cells ``j-1, j, j+1`` at step ``t``.
+    """
+    if width < 1 or steps < 1:
+        raise ValueError("width and steps must be at least 1")
+    w = {}
+    edges = []
+    for t in range(steps + 1):
+        for j in range(width):
+            w[f"{prefix}_{t}_{j}"] = float(weight)
+    for t in range(steps):
+        for j in range(width):
+            dst = f"{prefix}_{t + 1}_{j}"
+            for dj in (-1, 0, 1):
+                src_j = j + dj
+                if 0 <= src_j < width:
+                    edges.append((f"{prefix}_{t}_{src_j}", dst))
+    return TaskGraph(w, edges)
+
+
+def phase_fork_join(num_phases: int, width: int, seed=None, *, low: float = 1.0,
+                    high: float = 10.0, prefix: str = "ph") -> TaskGraph:
+    """Bulk-synchronous application: a chain of fork-join phases.
+
+    Each phase is a zero-fan-in synchronisation-free fork-join: a sequential
+    task, then ``width`` parallel tasks, then another sequential task which
+    is also the entry of the next phase.  This models iterative BSP-style
+    HPC applications (the "highly parallelizable DAGs" the paper's second
+    heuristic family targets).
+    """
+    if num_phases < 1 or width < 1:
+        raise ValueError("num_phases and width must be at least 1")
+    rng = _rng(seed)
+    w: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    prev_sync: str | None = None
+    for ph in range(num_phases):
+        entry = f"{prefix}{ph}_in"
+        exit_ = f"{prefix}{ph}_out"
+        w[entry] = float(rng.uniform(low, high))
+        w[exit_] = float(rng.uniform(low, high))
+        if prev_sync is not None:
+            edges.append((prev_sync, entry))
+        for j in range(width):
+            mid = f"{prefix}{ph}_p{j}"
+            w[mid] = float(rng.uniform(low, high))
+            edges.append((entry, mid))
+            edges.append((mid, exit_))
+        prev_sync = exit_
+    return TaskGraph(w, edges)
+
+
+#: Registry used by the experiment suites to enumerate instance classes by name.
+GENERATOR_REGISTRY = {
+    "chain": random_chain,
+    "fork": random_fork,
+    "series_parallel": random_series_parallel,
+    "layered": random_layered_dag,
+    "erdos": random_dag_erdos,
+    "fork_join_phases": phase_fork_join,
+}

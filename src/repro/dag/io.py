@@ -1,0 +1,69 @@
+"""Serialisation of task graphs (JSON and Graphviz DOT).
+
+The experiment harness stores generated instances as JSON so that a
+benchmark run can be replayed exactly; DOT export is provided for visual
+inspection of small instances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "taskgraph_to_dict",
+    "taskgraph_from_dict",
+    "save_json",
+    "load_json",
+    "to_dot",
+]
+
+_FORMAT_VERSION = 1
+
+
+def taskgraph_to_dict(graph: TaskGraph) -> dict[str, Any]:
+    """JSON-serialisable representation of a task graph."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "tasks": [
+            {"id": str(t), "weight": graph.weight(t)} for t in graph.topological_order()
+        ],
+        "edges": [[str(u), str(v)] for u, v in sorted(map(lambda e: (str(e[0]), str(e[1])), graph.edges()))],
+    }
+
+
+def taskgraph_from_dict(data: dict[str, Any]) -> TaskGraph:
+    """Inverse of :func:`taskgraph_to_dict`."""
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported task-graph format version {version}")
+    weights = {entry["id"]: float(entry["weight"]) for entry in data["tasks"]}
+    edges = [(u, v) for u, v in data["edges"]]
+    return TaskGraph(weights, edges)
+
+
+def save_json(graph: TaskGraph, path: str | Path) -> None:
+    """Write a task graph to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(taskgraph_to_dict(graph), indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> TaskGraph:
+    """Read a task graph from a JSON file written by :func:`save_json`."""
+    data = json.loads(Path(path).read_text())
+    return taskgraph_from_dict(data)
+
+
+def to_dot(graph: TaskGraph, *, name: str = "taskgraph") -> str:
+    """Graphviz DOT description of the graph (weights become node labels)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for t in graph.topological_order():
+        label = f"{t}\\nw={graph.weight(t):g}"
+        lines.append(f'  "{t}" [label="{label}"];')
+    for u, v in graph.edges():
+        lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines)

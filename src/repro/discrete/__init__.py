@@ -1,0 +1,27 @@
+"""Discrete speed-model algorithms (Section IV of the paper)."""
+
+from .exact import solve_bicrit_discrete_bruteforce, solve_bicrit_discrete_milp
+from .incremental_approx import approximation_bound, solve_bicrit_incremental_approx
+from .rounding import round_execution_to_vdd, round_schedule_to_vdd
+from .tricrit_vdd import solve_tricrit_vdd_exact, solve_tricrit_vdd_heuristic
+from .vdd_lp import (
+    TwoSpeedReport,
+    build_vdd_lp,
+    solve_bicrit_vdd_lp,
+    two_speed_structure,
+)
+
+__all__ = [
+    "solve_bicrit_vdd_lp",
+    "build_vdd_lp",
+    "two_speed_structure",
+    "TwoSpeedReport",
+    "solve_bicrit_discrete_milp",
+    "solve_bicrit_discrete_bruteforce",
+    "solve_bicrit_incremental_approx",
+    "approximation_bound",
+    "round_execution_to_vdd",
+    "round_schedule_to_vdd",
+    "solve_tricrit_vdd_heuristic",
+    "solve_tricrit_vdd_exact",
+]

@@ -1,0 +1,80 @@
+"""Experiment harness: instance suites, experiment runners and reporting.
+
+One ``run_*`` function per experiment of the per-experiment index in
+``DESIGN.md`` (E1-E12); the benchmark modules under ``benchmarks/`` are thin
+wrappers that call these runners, print their tables and time the
+interesting kernels with pytest-benchmark.
+"""
+
+from .adaptation_experiments import (
+    run_mapping_ablation_experiment,
+    run_reliability_simulation_experiment,
+    run_vdd_rounding_experiment,
+)
+from .closed_form_experiments import (
+    run_convex_dag_experiment,
+    run_fork_closed_form_experiment,
+    run_series_parallel_experiment,
+)
+from .discrete_experiments import (
+    run_incremental_approx_experiment,
+    run_np_hardness_experiment,
+    run_vdd_lp_experiment,
+)
+from .instances import (
+    DEFAULT_SPEED_RANGE,
+    InstanceSpec,
+    bicrit_problem,
+    chain_suite,
+    fork_suite,
+    layered_suite,
+    make_platform,
+    mixed_suite,
+    series_parallel_suite,
+    tricrit_problem,
+)
+from .pareto import (
+    ParetoPoint,
+    energy_deadline_curve,
+    energy_reliability_curve,
+    pareto_filter,
+)
+from .reporting import ascii_table, format_value, print_table, rows_to_table
+from .tricrit_experiments import (
+    run_heuristic_comparison_experiment,
+    run_tricrit_chain_experiment,
+    run_tricrit_fork_experiment,
+)
+
+__all__ = [
+    "InstanceSpec",
+    "DEFAULT_SPEED_RANGE",
+    "make_platform",
+    "bicrit_problem",
+    "tricrit_problem",
+    "chain_suite",
+    "fork_suite",
+    "layered_suite",
+    "series_parallel_suite",
+    "mixed_suite",
+    "ascii_table",
+    "rows_to_table",
+    "print_table",
+    "format_value",
+    "ParetoPoint",
+    "pareto_filter",
+    "energy_deadline_curve",
+    "energy_reliability_curve",
+    "run_fork_closed_form_experiment",
+    "run_series_parallel_experiment",
+    "run_convex_dag_experiment",
+    "run_vdd_lp_experiment",
+    "run_np_hardness_experiment",
+    "run_incremental_approx_experiment",
+    "run_tricrit_chain_experiment",
+    "run_tricrit_fork_experiment",
+    "run_heuristic_comparison_experiment",
+    "run_vdd_rounding_experiment",
+    "run_reliability_simulation_experiment",
+    "run_mapping_ablation_experiment",
+]

@@ -1,0 +1,181 @@
+"""Experiments E10-E12: VDD adaptation, reliability simulation, mapping ablation.
+
+* E10: adapting the CONTINUOUS heuristics to VDD-HOPPING by two-speed
+  rounding -- "there remains to quantify the performance loss incurred"
+  (Section IV); the experiment measures exactly that loss across the mixed
+  instance suite and several mode counts.
+* E11: the motivation of the TRI-CRIT problem -- DVFS degrades reliability,
+  re-execution restores it -- validated by Monte-Carlo fault injection
+  against the analytic model.
+* E12: the paper's future-work question about the impact of the mapping
+  heuristic that precedes the energy optimisation: an ablation over the
+  list-scheduling priority rules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.problems import BiCritProblem, TriCritProblem
+from ..core.schedule import Schedule, TaskDecision
+from ..core.speeds import VddHoppingSpeeds
+from ..continuous.bicrit import solve_bicrit_continuous
+from ..continuous.heuristics import best_of_heuristics
+from ..continuous.tricrit_chain import reexecution_speed_floor
+from ..dag import generators
+from ..discrete.tricrit_vdd import solve_tricrit_vdd_heuristic
+from ..discrete.vdd_lp import solve_bicrit_vdd_lp
+from ..platform.list_scheduling import MAPPING_HEURISTICS
+from ..platform.mapping import Mapping
+from ..platform.platform import Platform
+from ..simulation.montecarlo import run_monte_carlo
+from .instances import (
+    DEFAULT_SPEED_RANGE,
+    InstanceSpec,
+    make_platform,
+    mixed_suite,
+    tricrit_problem,
+)
+
+__all__ = [
+    "run_vdd_rounding_experiment",
+    "run_reliability_simulation_experiment",
+    "run_mapping_ablation_experiment",
+]
+
+
+def run_vdd_rounding_experiment(*, specs: Sequence[InstanceSpec] | None = None,
+                                mode_counts: Sequence[int] = (3, 5, 9),
+                                frel: float | None = None,
+                                seed: int = 43) -> list[dict]:
+    """E10: energy loss of the rounded VDD heuristic vs its continuous source."""
+    specs = list(specs) if specs is not None else mixed_suite(seed=seed)
+    fmin, fmax = DEFAULT_SPEED_RANGE
+    rows = []
+    for spec in specs:
+        continuous_problem = tricrit_problem(spec, speeds="continuous", frel=frel)
+        continuous = best_of_heuristics(continuous_problem)
+        for m in mode_counts:
+            modes = np.linspace(fmin, fmax, m)
+            vdd_problem = tricrit_problem(spec, speeds=VddHoppingSpeeds(modes),
+                                          frel=frel)
+            adapted = solve_tricrit_vdd_heuristic(vdd_problem)
+            bicrit_lp = solve_bicrit_vdd_lp(BiCritProblem(
+                mapping=vdd_problem.mapping, platform=vdd_problem.platform,
+                deadline=vdd_problem.deadline,
+            ))
+            rows.append({
+                "instance": spec.name,
+                "family": spec.family,
+                "modes": m,
+                "continuous_energy": continuous.energy,
+                "vdd_adapted_energy": adapted.energy,
+                "vdd_bicrit_lp": bicrit_lp.energy,
+                "adaptation_loss": (adapted.energy / continuous.energy - 1.0
+                                    if continuous.feasible else float("nan")),
+                "feasible": adapted.feasible,
+            })
+    return rows
+
+
+def run_reliability_simulation_experiment(*, chain_size: int = 8,
+                                          speed_fractions: Sequence[float] = (1.0, 0.8, 0.6, 0.4),
+                                          trials: int = 4000,
+                                          lambda0: float = 1e-3,
+                                          sensitivity: float = 4.0,
+                                          seed: int = 47) -> list[dict]:
+    """E11: Monte-Carlo reliability vs analytic model, with and without re-execution.
+
+    A relatively high ``lambda0`` is used so that the failure probabilities
+    are measurable with a reasonable number of trials; the qualitative shape
+    (reliability drops as the speed drops, re-execution restores it at an
+    energy cost) is what matters.
+    """
+    graph = generators.random_chain(chain_size, seed=seed)
+    mapping = Mapping.single_processor(graph)
+    platform = make_platform(1, speeds="continuous", lambda0=lambda0,
+                             sensitivity=sensitivity)
+    model = platform.reliability()
+    fmax = platform.fmax
+    rows = []
+    for fraction in speed_fractions:
+        speed = max(fraction * fmax, platform.fmin)
+        single = Schedule.from_speeds(mapping, platform,
+                                      {t: speed for t in graph.tasks()})
+        mc_single = run_monte_carlo(single, trials, seed=seed)
+        decisions = {}
+        for t in graph.tasks():
+            w = graph.weight(t)
+            floor = reexecution_speed_floor(model, w, platform.fmin)
+            reexec_speed = max(speed, floor)
+            decisions[t] = TaskDecision.reexecuted(t, w, reexec_speed, reexec_speed)
+        reexec = Schedule(mapping, platform, decisions)
+        mc_reexec = run_monte_carlo(reexec, trials, seed=seed + 1)
+        rows.append({
+            "speed_fraction": fraction,
+            "single_analytic_reliability": mc_single.analytic_reliability,
+            "single_simulated_reliability": mc_single.success_rate,
+            "single_energy": single.energy(),
+            "reexec_analytic_reliability": mc_reexec.analytic_reliability,
+            "reexec_simulated_reliability": mc_reexec.success_rate,
+            "reexec_worst_case_energy": reexec.energy(),
+            "reexec_mean_simulated_energy": mc_reexec.mean_energy,
+            "analytic_within_confidence": (mc_single.within_confidence()
+                                           and mc_reexec.within_confidence()),
+        })
+    return rows
+
+
+def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 4), (5, 4)),
+                                    num_processors: int = 4, slack: float = 1.8,
+                                    seed: int = 53,
+                                    heuristics: Sequence[str] = ("critical_path",
+                                                                 "largest_first",
+                                                                 "topological",
+                                                                 "min_loaded",
+                                                                 "round_robin",
+                                                                 "random")) -> list[dict]:
+    """E12: impact of the list-scheduling mapping on the downstream energy optimum."""
+    fmin, fmax = DEFAULT_SPEED_RANGE
+    rows = []
+    for i, (layers, width) in enumerate(shapes):
+        graph = generators.random_layered_dag(layers, width, seed=seed + i)
+        platform = make_platform(num_processors, speeds="continuous")
+        # A common deadline for all mappings: slack times the best (critical
+        # path) mapping's fmax makespan, so that a bad mapping really pays.
+        reference = MAPPING_HEURISTICS["critical_path"](graph, num_processors, fmax=fmax)
+        deadline = slack * reference.makespan
+        for name in heuristics:
+            mapper = MAPPING_HEURISTICS[name]
+            result = mapper(graph, num_processors, fmax=fmax)
+            problem = BiCritProblem(mapping=result.mapping, platform=platform,
+                                    deadline=deadline)
+            if not problem.is_feasible_instance():
+                rows.append({
+                    "instance": f"layered-{layers}x{width}",
+                    "mapping": name,
+                    "fmax_makespan": result.makespan,
+                    "energy": float("inf"),
+                    "energy_vs_cp": float("inf"),
+                    "feasible": False,
+                })
+                continue
+            optimum = solve_bicrit_continuous(problem)
+            rows.append({
+                "instance": f"layered-{layers}x{width}",
+                "mapping": name,
+                "fmax_makespan": result.makespan,
+                "energy": optimum.energy,
+                "feasible": optimum.feasible,
+            })
+        # Normalise against the critical-path mapping of the same instance.
+        cp_energy = next(r["energy"] for r in rows
+                         if r["instance"] == f"layered-{layers}x{width}"
+                         and r["mapping"] == "critical_path")
+        for r in rows:
+            if r["instance"] == f"layered-{layers}x{width}":
+                r["energy_vs_cp"] = (r["energy"] / cp_energy
+                                     if np.isfinite(r["energy"]) else float("inf"))
+    return rows

@@ -1,0 +1,207 @@
+"""Standard problem-instance suites used by the experiments.
+
+The paper evaluates its heuristics "on a wide class of problem instances";
+the companion reports use linear chains, forks, and general random DAGs
+mapped by a critical-path list scheduler.  The builders here produce exactly
+those families with a deterministic seed so every benchmark run regenerates
+the same instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.problems import BiCritProblem, TriCritProblem
+from ..core.reliability import ReliabilityModel
+from ..core.speeds import (
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    IncrementalSpeeds,
+    SpeedModel,
+    VddHoppingSpeeds,
+)
+from ..dag import generators
+from ..dag.taskgraph import TaskGraph
+from ..platform.list_scheduling import critical_path_mapping
+from ..platform.mapping import Mapping
+from ..platform.platform import Platform
+
+__all__ = [
+    "InstanceSpec",
+    "DEFAULT_SPEED_RANGE",
+    "make_platform",
+    "bicrit_problem",
+    "tricrit_problem",
+    "chain_suite",
+    "fork_suite",
+    "layered_suite",
+    "series_parallel_suite",
+    "mixed_suite",
+]
+
+#: Normalised speed range used throughout the experiments.
+DEFAULT_SPEED_RANGE = (0.1, 1.0)
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A named problem instance of one of the experiment suites."""
+
+    name: str
+    family: str
+    graph: TaskGraph
+    num_processors: int
+    deadline_slack: float
+    seed: int
+
+    def describe(self) -> dict:
+        return {
+            "instance": self.name,
+            "family": self.family,
+            "tasks": self.graph.num_tasks,
+            "processors": self.num_processors,
+            "slack": self.deadline_slack,
+        }
+
+
+def make_platform(num_processors: int, *, speeds: str | SpeedModel = "continuous",
+                  frel: float | None = None, lambda0: float = 1e-5,
+                  sensitivity: float = 3.0,
+                  speed_range: tuple[float, float] = DEFAULT_SPEED_RANGE,
+                  modes: Sequence[float] | None = None,
+                  delta: float = 0.1) -> Platform:
+    """Build a platform with the requested speed model and reliability model."""
+    fmin, fmax = speed_range
+    if isinstance(speeds, SpeedModel):
+        speed_model = speeds
+    elif speeds == "continuous":
+        speed_model = ContinuousSpeeds(fmin, fmax)
+    elif speeds == "discrete":
+        speed_model = DiscreteSpeeds(modes if modes is not None
+                                     else np.linspace(fmin, fmax, 5))
+    elif speeds == "vdd":
+        speed_model = VddHoppingSpeeds(modes if modes is not None
+                                       else np.linspace(fmin, fmax, 5))
+    elif speeds == "incremental":
+        speed_model = IncrementalSpeeds(fmin, fmax, delta)
+    else:
+        raise ValueError(f"unknown speed model spec {speeds!r}")
+    reliability = ReliabilityModel(fmin=speed_model.fmin, fmax=speed_model.fmax,
+                                   lambda0=lambda0, sensitivity=sensitivity,
+                                   frel=frel)
+    return Platform(num_processors, speed_model, reliability_model=reliability)
+
+
+def _mapping_for(graph: TaskGraph, num_processors: int, fmax: float) -> Mapping:
+    """Critical-path list-scheduling mapping (the paper's choice)."""
+    return critical_path_mapping(graph, num_processors, fmax=fmax).mapping
+
+
+def _deadline_for(mapping: Mapping, fmax: float, slack: float) -> float:
+    """Deadline = slack factor times the fmax makespan of the mapping."""
+    graph = mapping.graph
+    augmented = mapping.augmented_graph()
+    finish: dict = {}
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t) / fmax
+    base = max(finish.values(), default=0.0)
+    return slack * base
+
+
+def bicrit_problem(spec: InstanceSpec, *, speeds: str | SpeedModel = "continuous",
+                   **platform_kwargs) -> BiCritProblem:
+    """Instantiate a BI-CRIT problem from a spec."""
+    platform = make_platform(spec.num_processors, speeds=speeds, **platform_kwargs)
+    mapping = _mapping_for(spec.graph, spec.num_processors, platform.fmax)
+    deadline = _deadline_for(mapping, platform.fmax, spec.deadline_slack)
+    return BiCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+def tricrit_problem(spec: InstanceSpec, *, speeds: str | SpeedModel = "continuous",
+                    frel: float | None = None, **platform_kwargs) -> TriCritProblem:
+    """Instantiate a TRI-CRIT problem from a spec."""
+    platform = make_platform(spec.num_processors, speeds=speeds, frel=frel,
+                             **platform_kwargs)
+    mapping = _mapping_for(spec.graph, spec.num_processors, platform.fmax)
+    deadline = _deadline_for(mapping, platform.fmax, spec.deadline_slack)
+    return TriCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+# ----------------------------------------------------------------------
+# suites
+# ----------------------------------------------------------------------
+def chain_suite(*, sizes: Sequence[int] = (5, 8, 12), slacks: Sequence[float] = (1.5, 2.5),
+                seed: int = 0) -> list[InstanceSpec]:
+    """Linear chains on a single processor (the first heuristic family's home turf)."""
+    specs = []
+    for i, n in enumerate(sizes):
+        for j, slack in enumerate(slacks):
+            s = seed + 97 * i + j
+            specs.append(InstanceSpec(
+                name=f"chain-n{n}-s{slack:g}", family="chain",
+                graph=generators.random_chain(n, seed=s),
+                num_processors=1, deadline_slack=slack, seed=s,
+            ))
+    return specs
+
+
+def fork_suite(*, sizes: Sequence[int] = (4, 6, 8), slacks: Sequence[float] = (1.5, 2.5),
+               seed: int = 100) -> list[InstanceSpec]:
+    """Forks with one processor per task (the second family's home turf)."""
+    specs = []
+    for i, n in enumerate(sizes):
+        for j, slack in enumerate(slacks):
+            s = seed + 97 * i + j
+            specs.append(InstanceSpec(
+                name=f"fork-n{n}-s{slack:g}", family="fork",
+                graph=generators.random_fork(n, seed=s),
+                num_processors=n + 1, deadline_slack=slack, seed=s,
+            ))
+    return specs
+
+
+def layered_suite(*, shapes: Sequence[tuple[int, int]] = ((4, 3), (5, 4)),
+                  num_processors: int = 4, slacks: Sequence[float] = (1.8,),
+                  seed: int = 200) -> list[InstanceSpec]:
+    """Random layered DAGs mapped on a small multiprocessor."""
+    specs = []
+    for i, (layers, width) in enumerate(shapes):
+        for j, slack in enumerate(slacks):
+            s = seed + 97 * i + j
+            specs.append(InstanceSpec(
+                name=f"layered-{layers}x{width}-s{slack:g}", family="layered",
+                graph=generators.random_layered_dag(layers, width, seed=s),
+                num_processors=num_processors, deadline_slack=slack, seed=s,
+            ))
+    return specs
+
+
+def series_parallel_suite(*, sizes: Sequence[int] = (6, 10, 14),
+                          slacks: Sequence[float] = (1.6,),
+                          seed: int = 300) -> list[InstanceSpec]:
+    """Random series-parallel graphs with one processor per parallel branch."""
+    specs = []
+    for i, n in enumerate(sizes):
+        for j, slack in enumerate(slacks):
+            s = seed + 97 * i + j
+            graph = generators.random_series_parallel(n, seed=s)
+            specs.append(InstanceSpec(
+                name=f"sp-n{n}-s{slack:g}", family="series_parallel",
+                graph=graph, num_processors=max(2, graph.num_tasks),
+                deadline_slack=slack, seed=s,
+            ))
+    return specs
+
+
+def mixed_suite(*, seed: int = 400) -> list[InstanceSpec]:
+    """The cross-class suite used by the heuristic comparison (E9)."""
+    return (
+        chain_suite(sizes=(6, 10), slacks=(2.0,), seed=seed)
+        + fork_suite(sizes=(5, 7), slacks=(2.0,), seed=seed + 1000)
+        + layered_suite(shapes=((4, 3),), slacks=(2.0,), seed=seed + 2000)
+        + series_parallel_suite(sizes=(8,), slacks=(2.0,), seed=seed + 3000)
+    )

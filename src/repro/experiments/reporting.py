@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every benchmark prints the rows it measured as an aligned ASCII table so the
+output of ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction record (the same tables are summarised in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_value", "ascii_table", "rows_to_table", "print_table"]
+
+
+def format_value(value, *, precision: int = 4) -> str:
+    """Human-friendly formatting of ints, floats, bools and strings."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int,)) and not isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 10 ** precision or abs(value) < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                precision: int = 4, title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [[format_value(v, precision=precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_table(rows: Sequence[Mapping[str, object]], *, precision: int = 4,
+                  title: str | None = None,
+                  columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows (keys become the header)."""
+    if not rows:
+        return title or "(no rows)"
+    headers = list(columns) if columns is not None else list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return ascii_table(headers, body, precision=precision, title=title)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], *, precision: int = 4,
+                title: str | None = None,
+                columns: Sequence[str] | None = None) -> None:
+    """Print a dict-row table (used by the benchmark harness)."""
+    print()
+    print(rows_to_table(rows, precision=precision, title=title, columns=columns))

@@ -1,0 +1,138 @@
+"""Experiments E7-E9: the tri-criteria problem.
+
+* E7 (chain): the greedy "slow equally, then re-execute" strategy matches
+  the exhaustive optimum on small chains, and the exhaustive cost grows
+  exponentially (NP-hardness in practice).
+* E8 (fork): the polynomial breakpoint-scan algorithm matches the
+  brute-force enumeration of re-execution configurations on small forks.
+* E9 (heuristic families): across chain-like, fork-like, layered and
+  series-parallel instances, the energy-gain heuristic wins on chain-like
+  DAGs, the slack heuristic wins on highly parallel DAGs, and best-of-two is
+  never worse than either -- the paper's complementarity claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import greedy_reexecution
+from ..core.problems import TriCritProblem
+from ..continuous.exhaustive import solve_tricrit_exhaustive
+from ..continuous.heuristics import (
+    best_of_heuristics,
+    heuristic_energy_gain,
+    heuristic_parallel_slack,
+    solve_tricrit_no_reexec,
+)
+from ..continuous.tricrit_chain import (
+    solve_tricrit_chain_exact,
+    solve_tricrit_chain_greedy,
+)
+from ..continuous.tricrit_fork import (
+    solve_tricrit_fork,
+    solve_tricrit_fork_bruteforce,
+)
+from .instances import (
+    InstanceSpec,
+    chain_suite,
+    fork_suite,
+    mixed_suite,
+    tricrit_problem,
+)
+
+__all__ = [
+    "run_tricrit_chain_experiment",
+    "run_tricrit_fork_experiment",
+    "run_heuristic_comparison_experiment",
+]
+
+
+def run_tricrit_chain_experiment(*, sizes: Sequence[int] = (4, 6, 8, 10),
+                                 slacks: Sequence[float] = (2.0, 3.0),
+                                 frel: float | None = None,
+                                 seed: int = 31) -> list[dict]:
+    """E7: greedy chain strategy vs exhaustive optimum, with subset counts."""
+    rows = []
+    specs = chain_suite(sizes=sizes, slacks=slacks, seed=seed)
+    for spec in specs:
+        problem = tricrit_problem(spec, speeds="continuous", frel=frel)
+        exact = solve_tricrit_chain_exact(problem)
+        greedy = solve_tricrit_chain_greedy(problem)
+        no_reexec = solve_tricrit_no_reexec(problem)
+        rows.append({
+            "instance": spec.name,
+            "tasks": spec.graph.num_tasks,
+            "slack": spec.deadline_slack,
+            "exact_energy": exact.energy,
+            "greedy_energy": greedy.energy,
+            "no_reexec_energy": no_reexec.energy,
+            "greedy_over_exact": greedy.energy / exact.energy if exact.feasible else float("nan"),
+            "exact_reexecuted": len(exact.metadata.get("reexecuted", [])),
+            "greedy_reexecuted": len(greedy.metadata.get("reexecuted", [])),
+            "subsets_enumerated": exact.metadata.get("subsets_evaluated", 0),
+        })
+    return rows
+
+
+def run_tricrit_fork_experiment(*, sizes: Sequence[int] = (2, 4, 6, 8),
+                                slacks: Sequence[float] = (2.0, 3.0),
+                                frel: float | None = None,
+                                seed: int = 37) -> list[dict]:
+    """E8: polynomial fork algorithm vs brute-force enumeration."""
+    rows = []
+    specs = fork_suite(sizes=sizes, slacks=slacks, seed=seed)
+    for spec in specs:
+        problem = tricrit_problem(spec, speeds="continuous", frel=frel)
+        poly = solve_tricrit_fork(problem)
+        brute = solve_tricrit_fork_bruteforce(problem)
+        rows.append({
+            "instance": spec.name,
+            "children": spec.graph.num_tasks - 1,
+            "slack": spec.deadline_slack,
+            "poly_energy": poly.energy,
+            "bruteforce_energy": brute.energy,
+            "poly_over_brute": poly.energy / brute.energy if brute.feasible else float("nan"),
+            "poly_reexecuted": len(poly.metadata.get("reexecuted", [])),
+            "configurations": brute.metadata.get("configurations", 0),
+        })
+    return rows
+
+
+def run_heuristic_comparison_experiment(*, specs: Sequence[InstanceSpec] | None = None,
+                                        frel: float | None = None,
+                                        seed: int = 41,
+                                        include_reference: bool = True) -> list[dict]:
+    """E9: the two heuristic families and their combination across DAG classes."""
+    specs = list(specs) if specs is not None else mixed_suite(seed=seed)
+    rows = []
+    for spec in specs:
+        problem = tricrit_problem(spec, speeds="continuous", frel=frel)
+        no_reexec = solve_tricrit_no_reexec(problem)
+        h_energy = heuristic_energy_gain(problem)
+        h_slack = heuristic_parallel_slack(problem)
+        best = h_energy if h_energy.energy <= h_slack.energy else h_slack
+        greedy = greedy_reexecution(problem)
+        row = {
+            "instance": spec.name,
+            "family": spec.family,
+            "tasks": spec.graph.num_tasks,
+            "processors": spec.num_processors,
+            "no_reexec": no_reexec.energy,
+            "energy_gain_h": h_energy.energy,
+            "parallel_slack_h": h_slack.energy,
+            "best_of": best.energy,
+            "greedy_baseline": greedy.energy,
+            "winner": ("energy_gain" if h_energy.energy < h_slack.energy - 1e-9
+                       else "parallel_slack" if h_slack.energy < h_energy.energy - 1e-9
+                       else "tie"),
+        }
+        if include_reference and sum(1 for t in spec.graph.tasks()
+                                     if spec.graph.weight(t) > 0) <= 8:
+            reference = solve_tricrit_exhaustive(problem, max_tasks=8)
+            row["exhaustive"] = reference.energy
+            row["best_over_exhaustive"] = (best.energy / reference.energy
+                                           if reference.feasible else float("nan"))
+        rows.append(row)
+    return rows

@@ -1,0 +1,297 @@
+"""A small linear-programming modelling layer.
+
+The paper's polynomial-time result for BI-CRIT under the VDD-HOPPING model
+is "a linear program"; commercial modelling tools (AMPL, CPLEX, PuLP) are not
+available offline, so this package provides its own modelling layer:
+
+* :class:`Variable`, :class:`LinearExpression`, :class:`Constraint` and
+  :class:`LinearProgram` let solvers state LPs/MILPs symbolically with
+  operator overloading (``2 * x + y <= 3``);
+* :func:`LinearProgram.to_arrays` lowers a model to the dense matrix form
+  consumed by the backends;
+* backends: :mod:`repro.lp.scipy_backend` (HiGHS via
+  :func:`scipy.optimize.linprog` / :func:`scipy.optimize.milp`),
+  :mod:`repro.lp.simplex` (an in-house dense two-phase simplex) and
+  :mod:`repro.lp.branch_and_bound` (an in-house MILP solver on top of either
+  LP backend).  The backends are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Variable",
+    "LinearExpression",
+    "Constraint",
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+]
+
+
+class LPStatus:
+    """Status strings shared by all backends."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class LinearExpression:
+    """An affine expression ``sum_i coeff_i * x_i + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # -- construction helpers -------------------------------------------------
+    @staticmethod
+    def _as_expression(other) -> "LinearExpression":
+        if isinstance(other, LinearExpression):
+            return other
+        if isinstance(other, Variable):
+            return LinearExpression({other.index: 1.0})
+        if isinstance(other, (int, float)):
+            return LinearExpression({}, float(other))
+        raise TypeError(f"cannot interpret {other!r} as a linear expression")
+
+    def copy(self) -> "LinearExpression":
+        return LinearExpression(dict(self.coeffs), self.constant)
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other) -> "LinearExpression":
+        other = self._as_expression(other)
+        out = self.copy()
+        for idx, c in other.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + c
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpression":
+        return self + (self._as_expression(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return self._as_expression(other) + (self * -1.0)
+
+    def __mul__(self, scalar) -> "LinearExpression":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        out = LinearExpression(
+            {idx: c * float(scalar) for idx, c in self.coeffs.items()},
+            self.constant * float(scalar),
+        )
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar) -> "LinearExpression":
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self) -> "LinearExpression":
+        return self * -1.0
+
+    # -- comparisons build constraints ----------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._as_expression(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._as_expression(other), ">=")
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - self._as_expression(other), "==")
+
+    def __hash__(self):  # expressions are mutable -> identity hash
+        return id(self)
+
+    # -- evaluation -----------------------------------------------------------
+    def value(self, x: Sequence[float]) -> float:
+        return self.constant + sum(c * x[idx] for idx, c in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(f"{c:g}*x{idx}" for idx, c in sorted(self.coeffs.items()))
+        return f"LinearExpression({terms} + {self.constant:g})"
+
+
+class Variable(LinearExpression):
+    """A decision variable.  Also usable directly as an expression."""
+
+    __slots__ = ("name", "index", "lower", "upper", "is_integer")
+
+    def __init__(self, name: str, index: int, lower: float = 0.0,
+                 upper: float | None = None, is_integer: bool = False):
+        super().__init__({index: 1.0})
+        self.name = name
+        self.index = index
+        self.lower = lower
+        self.upper = upper
+        self.is_integer = is_integer
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variable({self.name!r})"
+
+    def __hash__(self):
+        return hash((self.name, self.index))
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` with an optional name."""
+
+    expression: LinearExpression
+    sense: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unknown constraint sense {self.sense!r}")
+
+    def violation(self, x: Sequence[float]) -> float:
+        """How much the constraint is violated at ``x`` (0 when satisfied)."""
+        v = self.expression.value(x)
+        if self.sense == "<=":
+            return max(0.0, v)
+        if self.sense == ">=":
+            return max(0.0, -v)
+        return abs(v)
+
+
+class LinearProgram:
+    """A linear (or mixed-integer linear) program under construction."""
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinearExpression = LinearExpression()
+        self.sense: str = "min"
+
+    # ------------------------------------------------------------------
+    def add_variable(self, name: str, *, lower: float = 0.0,
+                     upper: float | None = None,
+                     integer: bool = False) -> Variable:
+        """Create a new decision variable and register it with the model."""
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {name!r} has upper bound {upper} < lower bound {lower}")
+        var = Variable(name, len(self.variables), lower=lower, upper=upper,
+                       is_integer=integer)
+        self.variables.append(var)
+        return var
+
+    def add_variables(self, names: Iterable[str], **kwargs) -> list[Variable]:
+        return [self.add_variable(n, **kwargs) for n in names]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (build one with <=, >= or ==)"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expression: LinearExpression, sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ValueError("objective sense must be 'min' or 'max'")
+        self.objective = LinearExpression._as_expression(expression)
+        self.sense = sense
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def has_integer_variables(self) -> bool:
+        return any(v.is_integer for v in self.variables)
+
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray | list | float]:
+        """Lower the model to dense arrays.
+
+        Returns a dict with keys ``c`` (objective, always minimisation --
+        maximisation is negated), ``offset`` (objective constant),
+        ``A_ub, b_ub, A_eq, b_eq`` (possibly empty), ``bounds`` (list of
+        ``(lower, upper)`` tuples) and ``integrality`` (0/1 array).
+        """
+        n = self.num_variables
+        c = np.zeros(n)
+        for idx, coeff in self.objective.coeffs.items():
+            c[idx] = coeff
+        offset = self.objective.constant
+        if self.sense == "max":
+            c = -c
+            offset = -offset
+
+        rows_ub: list[np.ndarray] = []
+        rhs_ub: list[float] = []
+        rows_eq: list[np.ndarray] = []
+        rhs_eq: list[float] = []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for idx, coeff in con.expression.coeffs.items():
+                row[idx] = coeff
+            rhs = -con.expression.constant
+            if con.sense == "<=":
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            elif con.sense == ">=":
+                rows_ub.append(-row)
+                rhs_ub.append(-rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+
+        bounds = [(v.lower, v.upper) for v in self.variables]
+        integrality = np.array([1 if v.is_integer else 0 for v in self.variables])
+        return {
+            "c": c,
+            "offset": float(offset),
+            "A_ub": np.array(rows_ub) if rows_ub else np.zeros((0, n)),
+            "b_ub": np.array(rhs_ub) if rhs_ub else np.zeros(0),
+            "A_eq": np.array(rows_eq) if rows_eq else np.zeros((0, n)),
+            "b_eq": np.array(rhs_eq) if rhs_eq else np.zeros(0),
+            "bounds": bounds,
+            "integrality": integrality,
+            "maximize": self.sense == "max",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "MILP" if self.has_integer_variables() else "LP"
+        return (
+            f"LinearProgram({self.name!r}, {kind}, vars={self.num_variables}, "
+            f"cons={self.num_constraints})"
+        )
+
+
+@dataclass
+class LPSolution:
+    """Solution returned by every backend."""
+
+    status: str
+    objective: float
+    values: dict[str, float]
+    x: np.ndarray | None = None
+    backend: str = ""
+    iterations: int | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == LPStatus.OPTIMAL
+
+    def __getitem__(self, variable: Variable | str) -> float:
+        name = variable.name if isinstance(variable, Variable) else variable
+        return self.values[name]

@@ -1,0 +1,172 @@
+"""Deadline allocation ("water-filling") solvers for serialised task sets.
+
+The elementary continuous subproblem behind every closed form of the paper
+is: given tasks with weights ``w_1..w_n`` that must execute one after the
+other within a total time budget ``D``, choose durations ``d_i`` (hence
+speeds ``f_i = w_i/d_i``) minimising ``sum_i w_i^a / d_i^{a-1}`` subject to
+``sum_i d_i <= D`` and per-task duration bounds coming from ``fmin`` and
+``fmax``.
+
+Without bounds the KKT conditions give ``d_i`` proportional to ``w_i``, i.e.
+*all tasks run at the same speed* ``sum(w)/D`` -- the "slow every task
+equally" rule the paper's chain strategy starts from.  With bounds the
+multiplier is found by bisection and clamped tasks sit at their bound
+(:func:`allocate_durations`).
+
+The same machinery allocates a deadline across *segments of equivalent
+weight* (series compositions of a series-parallel decomposition), because a
+segment of equivalent weight ``W`` getting duration ``d`` costs exactly
+``W^a / d^{a-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bisection import solve_monotone_increasing
+
+__all__ = [
+    "AllocationResult",
+    "allocate_durations",
+    "allocate_durations_with_bounds",
+    "equal_speed_durations",
+]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Durations chosen for a serialised set of (equivalent) weights."""
+
+    durations: np.ndarray
+    energy: float
+    total_time: float
+    saturated_lower: np.ndarray  # tasks forced to run at fmax (minimum duration)
+    saturated_upper: np.ndarray  # tasks forced to run at fmin (maximum duration)
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Implied constant speeds ``w_i / d_i`` (0 for zero-weight tasks)."""
+        out = np.zeros_like(self.durations)
+        np.divide(self._weights, self.durations, out=out, where=self.durations > 0)
+        return out
+
+    # carried for the speeds property; set in allocate_durations
+    _weights: np.ndarray = None  # type: ignore[assignment]
+
+
+def equal_speed_durations(weights, deadline: float) -> np.ndarray:
+    """Unbounded optimum: every task at speed ``sum(w)/deadline``."""
+    w = np.asarray(weights, dtype=float)
+    total = float(np.sum(w))
+    if total == 0:
+        return np.zeros_like(w)
+    return w * (deadline / total)
+
+
+def allocate_durations(weights, deadline: float, *, fmin: float | None = None,
+                       fmax: float | None = None, exponent: float = 3.0,
+                       tol: float = 1e-12) -> AllocationResult:
+    """Optimal durations for serialised weights within ``deadline``.
+
+    Solves ``min sum w_i^a / d_i^{a-1}`` s.t. ``sum d_i <= D`` and
+    ``w_i/fmax <= d_i <= w_i/fmin`` (bounds omitted when ``fmax``/``fmin``
+    are ``None``).  Zero-weight tasks get zero duration and zero energy.
+
+    Raises ``ValueError`` when the instance is infeasible, i.e. when even at
+    ``fmax`` the weights do not fit in the deadline.
+    """
+    w = np.asarray(weights, dtype=float)
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if exponent <= 1.0:
+        raise ValueError("power exponent must exceed 1")
+
+    n = w.size
+    lower = np.zeros(n) if fmax is None else w / float(fmax)
+    upper = np.full(n, np.inf) if fmin is None else np.where(w > 0, w / float(fmin), 0.0)
+    if fmin is not None and fmax is not None and fmin > fmax:
+        raise ValueError("fmin cannot exceed fmax")
+    return allocate_durations_with_bounds(w, deadline, lower, upper,
+                                          exponent=exponent, tol=tol)
+
+
+def allocate_durations_with_bounds(weights, deadline: float, lower, upper, *,
+                                   exponent: float = 3.0,
+                                   tol: float = 1e-12) -> AllocationResult:
+    """Like :func:`allocate_durations` but with explicit per-task duration bounds.
+
+    ``lower``/``upper`` give, for every task, the minimum and maximum
+    admissible duration (e.g. ``w_i/fmax_i`` and ``w_i/fmin_i`` with
+    task-specific speed bounds, as needed by the TRI-CRIT chain solver where
+    re-executed and single-execution tasks have different speed floors).
+    """
+    w = np.asarray(weights, dtype=float)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if exponent <= 1.0:
+        raise ValueError("power exponent must exceed 1")
+    if lower.shape != w.shape or upper.shape != w.shape:
+        raise ValueError("bounds must have the same shape as the weights")
+    if np.any(lower < 0) or np.any(upper < lower - 1e-15):
+        raise ValueError("need 0 <= lower <= upper for every task")
+
+    n = w.size
+    min_time = float(np.sum(lower))
+    if min_time > deadline * (1.0 + 1e-12):
+        raise ValueError(
+            f"infeasible: even at fmax the serialised tasks need {min_time:.6g} > D={deadline:.6g}"
+        )
+
+    positive = w > 0
+    if not np.any(positive):
+        durations = np.zeros(n)
+        return AllocationResult(durations=durations, energy=0.0, total_time=0.0,
+                                saturated_lower=np.zeros(n, dtype=bool),
+                                saturated_upper=np.zeros(n, dtype=bool),
+                                _weights=w)
+
+    # The unconstrained stationary point has d_i = t * w_i for a common
+    # scale t; with bounds, d_i(t) = clip(t * w_i, lower_i, upper_i) and the
+    # total duration is non-decreasing in t.  Find t so the durations use the
+    # whole deadline (or saturate at the upper bounds if the deadline is very
+    # loose -- then total time < D and all tasks run at fmin).
+    def total_time(t: float) -> float:
+        d = np.clip(t * w, lower, upper)
+        return float(np.sum(d[positive]))
+
+    # Bracket: t_lo puts everybody at the lower bound, t_hi at the upper bound
+    # (or, when some upper bound is infinite, far enough that the deadline is
+    # exhausted).
+    t_lo = 0.0
+    finite_upper = np.isfinite(upper[positive])
+    if np.all(finite_upper):
+        t_hi = float(np.max(upper[positive] / w[positive])) + 1.0
+    else:
+        t_hi = max(deadline / float(np.sum(w[positive])), 1.0)
+        while total_time(t_hi) < deadline and t_hi < 1e18:
+            t_hi *= 2.0
+
+    t_star = solve_monotone_increasing(total_time, deadline, t_lo, t_hi, tol=tol)
+    durations = np.clip(t_star * w, lower, upper)
+    durations[~positive] = 0.0
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_task = np.where(
+            positive, w ** exponent / durations ** (exponent - 1.0), 0.0
+        )
+    energy = float(np.sum(per_task))
+    sat_lo = positive & np.isclose(durations, lower, rtol=1e-9, atol=1e-12)
+    sat_hi = positive & np.isclose(durations, upper, rtol=1e-9, atol=1e-12)
+    return AllocationResult(durations=durations, energy=energy,
+                            total_time=float(np.sum(durations)),
+                            saturated_lower=sat_lo, saturated_upper=sat_hi,
+                            _weights=w)

@@ -1,0 +1,20 @@
+"""Platform substrate: processors, mappings and list-scheduling heuristics."""
+
+from .list_scheduling import (
+    MAPPING_HEURISTICS,
+    ListScheduleResult,
+    critical_path_mapping,
+    list_schedule,
+)
+from .mapping import InvalidMappingError, Mapping
+from .platform import Platform
+
+__all__ = [
+    "Platform",
+    "Mapping",
+    "InvalidMappingError",
+    "list_schedule",
+    "critical_path_mapping",
+    "ListScheduleResult",
+    "MAPPING_HEURISTICS",
+]

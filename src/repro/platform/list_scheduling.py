@@ -1,0 +1,227 @@
+"""List-scheduling heuristics that produce the task-to-processor mapping.
+
+The paper's energy heuristics assume the mapping is given; in the companion
+experiments "we coupled them with a critical-path list-scheduling algorithm".
+Section V raises the question of how much the choice of that mapping
+heuristic matters -- experiment E12 of this reproduction answers it with an
+ablation over the priority rules implemented here.
+
+All heuristics run the classical list-scheduling loop at maximum speed
+``fmax``: repeatedly pick the ready task with the highest priority and place
+it on the processor where it can start earliest.  What changes between
+heuristics is the priority:
+
+* ``critical_path`` -- bottom level (the classic CP/HEFT-like rule the paper
+  uses);
+* ``largest_task_first`` -- task weight;
+* ``topological`` -- position in a deterministic topological order
+  (essentially FIFO by readiness);
+* ``random`` -- random priorities (a weak baseline);
+* ``min_loaded`` uses the CP priority but places tasks on the least-loaded
+  processor instead of the earliest-start one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dag.analysis import bottom_levels, top_levels
+from ..dag.taskgraph import TaskGraph, TaskId
+from .mapping import Mapping
+
+__all__ = [
+    "ListScheduleResult",
+    "list_schedule",
+    "critical_path_mapping",
+    "largest_first_mapping",
+    "topological_mapping",
+    "random_mapping",
+    "min_loaded_mapping",
+    "round_robin_mapping",
+    "MAPPING_HEURISTICS",
+]
+
+
+@dataclass(frozen=True)
+class ListScheduleResult:
+    """Outcome of a list-scheduling pass at maximum speed."""
+
+    mapping: Mapping
+    start_times: dict[TaskId, float]
+    finish_times: dict[TaskId, float]
+    makespan: float
+
+    def processor_utilisation(self) -> list[float]:
+        """Busy time of each processor divided by the makespan."""
+        busy = [0.0] * self.mapping.num_processors
+        graph = self.mapping.graph
+        for t in graph.tasks():
+            busy[self.mapping.processor_of(t)] += (
+                self.finish_times[t] - self.start_times[t]
+            )
+        if self.makespan == 0:
+            return [0.0] * self.mapping.num_processors
+        return [b / self.makespan for b in busy]
+
+
+def list_schedule(graph: TaskGraph, num_processors: int, *, fmax: float = 1.0,
+                  priority: Callable[[TaskGraph], dict[TaskId, float]] | None = None,
+                  placement: str = "earliest_start",
+                  seed: int | None = None) -> ListScheduleResult:
+    """Generic list scheduling at speed ``fmax``.
+
+    Parameters
+    ----------
+    priority:
+        Function mapping the graph to a priority per task (higher = earlier);
+        defaults to the bottom level (critical-path priority).
+    placement:
+        ``"earliest_start"`` (classic) or ``"min_loaded"``.
+    seed:
+        Only used to break ties randomly; ``None`` keeps ties deterministic.
+    """
+    if num_processors < 1:
+        raise ValueError("need at least one processor")
+    if fmax <= 0:
+        raise ValueError("fmax must be positive")
+    if placement not in ("earliest_start", "min_loaded"):
+        raise ValueError(f"unknown placement rule {placement!r}")
+
+    prio = (priority or bottom_levels)(graph)
+    rng = np.random.default_rng(seed)
+    tie_break = {t: (rng.random() if seed is not None else 0.0) for t in graph.tasks()}
+
+    in_degree = {t: len(graph.predecessors(t)) for t in graph.tasks()}
+    ready: list[tuple[float, float, str, TaskId]] = []
+    counter = 0
+    for t in graph.tasks():
+        if in_degree[t] == 0:
+            heapq.heappush(ready, (-prio[t], tie_break[t], str(t), t))
+
+    proc_available = [0.0] * num_processors
+    proc_lists: list[list[TaskId]] = [[] for _ in range(num_processors)]
+    start: dict[TaskId, float] = {}
+    finish: dict[TaskId, float] = {}
+
+    scheduled = 0
+    while ready:
+        _, _, _, task = heapq.heappop(ready)
+        duration = graph.weight(task) / fmax
+        earliest_data = max(
+            (finish[p] for p in graph.predecessors(task)), default=0.0
+        )
+        if placement == "earliest_start":
+            best_proc = min(
+                range(num_processors),
+                key=lambda k: (max(proc_available[k], earliest_data), proc_available[k], k),
+            )
+        else:  # min_loaded
+            best_proc = min(
+                range(num_processors), key=lambda k: (proc_available[k], k)
+            )
+        s = max(proc_available[best_proc], earliest_data)
+        start[task] = s
+        finish[task] = s + duration
+        proc_available[best_proc] = finish[task]
+        proc_lists[best_proc].append(task)
+        scheduled += 1
+        for succ in graph.successors(task):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                heapq.heappush(ready, (-prio[succ], tie_break[succ], str(succ), succ))
+
+    if scheduled != graph.num_tasks:  # pragma: no cover - defensive
+        raise RuntimeError("list scheduling failed to schedule every task")
+
+    makespan = max(finish.values(), default=0.0)
+    mapping = Mapping(proc_lists, graph)
+    return ListScheduleResult(mapping=mapping, start_times=start,
+                              finish_times=finish, makespan=makespan)
+
+
+# ----------------------------------------------------------------------
+# named heuristics (what the E12 ablation sweeps over)
+# ----------------------------------------------------------------------
+def critical_path_mapping(graph: TaskGraph, num_processors: int, *,
+                          fmax: float = 1.0) -> ListScheduleResult:
+    """Bottom-level priority, earliest-start placement (the paper's choice)."""
+    return list_schedule(graph, num_processors, fmax=fmax, priority=bottom_levels)
+
+
+def largest_first_mapping(graph: TaskGraph, num_processors: int, *,
+                          fmax: float = 1.0) -> ListScheduleResult:
+    """Largest-weight-first priority."""
+    return list_schedule(
+        graph, num_processors, fmax=fmax,
+        priority=lambda g: {t: g.weight(t) for t in g.tasks()},
+    )
+
+
+def topological_mapping(graph: TaskGraph, num_processors: int, *,
+                        fmax: float = 1.0) -> ListScheduleResult:
+    """FIFO-by-readiness priority (negative topological rank)."""
+    def prio(g: TaskGraph) -> dict[TaskId, float]:
+        order = g.topological_order()
+        return {t: -float(i) for i, t in enumerate(order)}
+
+    return list_schedule(graph, num_processors, fmax=fmax, priority=prio)
+
+
+def random_mapping(graph: TaskGraph, num_processors: int, *, fmax: float = 1.0,
+                   seed: int = 0) -> ListScheduleResult:
+    """Random priorities -- the weak baseline of the E12 ablation."""
+    def prio(g: TaskGraph) -> dict[TaskId, float]:
+        rng = np.random.default_rng(seed)
+        return {t: float(rng.random()) for t in g.tasks()}
+
+    return list_schedule(graph, num_processors, fmax=fmax, priority=prio, seed=seed)
+
+
+def min_loaded_mapping(graph: TaskGraph, num_processors: int, *,
+                       fmax: float = 1.0) -> ListScheduleResult:
+    """Critical-path priority but least-loaded-processor placement."""
+    return list_schedule(
+        graph, num_processors, fmax=fmax, priority=bottom_levels,
+        placement="min_loaded",
+    )
+
+
+def round_robin_mapping(graph: TaskGraph, num_processors: int, *,
+                        fmax: float = 1.0) -> ListScheduleResult:
+    """Round-robin allocation in topological order.
+
+    Not a list schedule in the strict sense (placement ignores start times);
+    implemented directly so the ablation includes a mapping that balances
+    task counts but ignores both the critical path and the load.
+    """
+    lists: list[list[TaskId]] = [[] for _ in range(num_processors)]
+    for i, t in enumerate(graph.topological_order()):
+        lists[i % num_processors].append(t)
+    mapping = Mapping(lists, graph)
+    # Compute start/finish times of the induced schedule at fmax.
+    durations = {t: graph.weight(t) / fmax for t in graph.tasks()}
+    start: dict[TaskId, float] = {}
+    finish: dict[TaskId, float] = {}
+    for t in mapping.augmented_graph().topological_order():
+        preds = mapping.augmented_graph().predecessors(t)
+        s = max((finish[p] for p in preds), default=0.0)
+        start[t] = s
+        finish[t] = s + durations[t]
+    makespan = max(finish.values(), default=0.0)
+    return ListScheduleResult(mapping=mapping, start_times=start,
+                              finish_times=finish, makespan=makespan)
+
+
+#: Registry used by the mapping-impact ablation (experiment E12).
+MAPPING_HEURISTICS: dict[str, Callable[..., ListScheduleResult]] = {
+    "critical_path": critical_path_mapping,
+    "largest_first": largest_first_mapping,
+    "topological": topological_mapping,
+    "random": random_mapping,
+    "min_loaded": min_loaded_mapping,
+    "round_robin": round_robin_mapping,
+}

@@ -1,0 +1,87 @@
+"""Homogeneous multiprocessor platform description.
+
+The paper's platform is a set of ``p`` identical processors, all sharing the
+same speed model (CONTINUOUS, DISCRETE, VDD-HOPPING or INCREMENTAL), the same
+energy model and the same reliability model.  :class:`Platform` bundles those
+pieces so that solvers only take two arguments: a problem instance and a
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.energy import EnergyModel
+from ..core.reliability import ReliabilityModel
+from ..core.speeds import ContinuousSpeeds, SpeedModel
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """``p`` identical processors with a shared speed/energy/reliability model.
+
+    Parameters
+    ----------
+    num_processors:
+        Number of identical processors ``p >= 1``.
+    speed_model:
+        The DVFS model of the processors (defaults to CONTINUOUS on
+        ``[0.1, 1.0]`` -- normalised speeds).
+    energy_model:
+        Dynamic-power model; defaults to the paper's cube law.
+    reliability_model:
+        Transient-fault model; optional, only needed for TRI-CRIT problems
+        and for the fault-injection simulator.  When absent, a default model
+        matching the speed bounds is built lazily by :meth:`reliability`.
+    """
+
+    num_processors: int
+    speed_model: SpeedModel = field(default_factory=lambda: ContinuousSpeeds(0.1, 1.0))
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    reliability_model: ReliabilityModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("a platform needs at least one processor")
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def fmin(self) -> float:
+        return self.speed_model.fmin
+
+    @property
+    def fmax(self) -> float:
+        return self.speed_model.fmax
+
+    def reliability(self) -> ReliabilityModel:
+        """The reliability model, building a default one when unset."""
+        if self.reliability_model is not None:
+            return self.reliability_model
+        return ReliabilityModel(fmin=self.fmin, fmax=self.fmax)
+
+    def with_speed_model(self, speed_model: SpeedModel) -> "Platform":
+        """Copy of the platform with a different speed model.
+
+        Used by the rounding adapters (a CONTINUOUS solution is computed on
+        a continuous twin of a VDD-HOPPING platform, then rounded).
+        """
+        return Platform(
+            num_processors=self.num_processors,
+            speed_model=speed_model,
+            energy_model=self.energy_model,
+            reliability_model=self.reliability_model,
+        )
+
+    def continuous_twin(self) -> "Platform":
+        """The same platform with a CONTINUOUS speed model on ``[fmin, fmax]``."""
+        return self.with_speed_model(ContinuousSpeeds(self.fmin, self.fmax))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Platform(p={self.num_processors}, speeds={self.speed_model!r}, "
+            f"alpha={self.energy_model.exponent})"
+        )

@@ -1,0 +1,19 @@
+"""Fault-injecting execution simulator and Monte-Carlo reliability estimation."""
+
+from .engine import SimulationResult, TraceEvent, simulate_schedule
+from .faults import FaultInjector
+from .montecarlo import (
+    MonteCarloSummary,
+    analytic_schedule_reliability,
+    run_monte_carlo,
+)
+
+__all__ = [
+    "FaultInjector",
+    "TraceEvent",
+    "SimulationResult",
+    "simulate_schedule",
+    "MonteCarloSummary",
+    "run_monte_carlo",
+    "analytic_schedule_reliability",
+]

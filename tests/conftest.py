@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problems import BiCritProblem, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import (
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    IncrementalSpeeds,
+    VddHoppingSpeeds,
+)
+from repro.dag import generators
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+@pytest.fixture
+def continuous_platform() -> Platform:
+    """One processor, continuous speeds in [0.1, 1.0]."""
+    return Platform(1, ContinuousSpeeds(0.1, 1.0))
+
+
+@pytest.fixture
+def wide_continuous_platform() -> Platform:
+    """Many processors, effectively unbounded continuous speeds."""
+    return Platform(16, ContinuousSpeeds(0.001, 100.0))
+
+
+@pytest.fixture
+def vdd_platform() -> Platform:
+    return Platform(2, VddHoppingSpeeds([0.2, 0.4, 0.6, 0.8, 1.0]))
+
+
+@pytest.fixture
+def discrete_platform() -> Platform:
+    return Platform(2, DiscreteSpeeds([0.2, 0.4, 0.6, 0.8, 1.0]))
+
+
+@pytest.fixture
+def incremental_platform() -> Platform:
+    return Platform(1, IncrementalSpeeds(0.2, 1.0, 0.1))
+
+
+@pytest.fixture
+def reliability_model() -> ReliabilityModel:
+    return ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4, sensitivity=3.0)
+
+
+@pytest.fixture
+def small_chain_graph():
+    return generators.chain([2.0, 1.0, 3.0, 2.5])
+
+
+@pytest.fixture
+def small_fork_graph():
+    return generators.fork(2.0, [1.0, 3.0, 2.0])
+
+
+@pytest.fixture
+def small_chain_problem(small_chain_graph, continuous_platform):
+    mapping = Mapping.single_processor(small_chain_graph)
+    total = small_chain_graph.total_weight()
+    return BiCritProblem(mapping=mapping, platform=continuous_platform,
+                         deadline=1.5 * total / continuous_platform.fmax)
+
+
+@pytest.fixture
+def small_fork_problem(small_fork_graph):
+    platform = Platform(4, ContinuousSpeeds(0.05, 10.0))
+    mapping = Mapping.one_task_per_processor(small_fork_graph)
+    deadline = 1.5 * small_fork_graph.critical_path_weight() / platform.fmax
+    return BiCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+@pytest.fixture
+def tricrit_chain_problem(small_chain_graph):
+    reliability = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4)
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0), reliability_model=reliability)
+    mapping = Mapping.single_processor(small_chain_graph)
+    deadline = 2.5 * small_chain_graph.total_weight() / platform.fmax
+    return TriCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+@pytest.fixture
+def tricrit_fork_problem(small_fork_graph):
+    reliability = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4)
+    platform = Platform(4, ContinuousSpeeds(0.1, 1.0), reliability_model=reliability)
+    mapping = Mapping.one_task_per_processor(small_fork_graph)
+    deadline = 2.5 * small_fork_graph.critical_path_weight() / platform.fmax
+    return TriCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,143 @@
+"""Tests of the baseline scheduling policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    greedy_reexecution,
+    local_slack_reclaiming,
+    no_dvfs,
+    uniform_slowdown,
+)
+from repro.continuous.bicrit import solve_bicrit_continuous
+from repro.core.problems import BiCritProblem, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds, DiscreteSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def bicrit(graph, p, slack, speed_model=None) -> BiCritProblem:
+    platform = Platform(p, speed_model or ContinuousSpeeds(0.1, 1.0))
+    mapping = (Mapping.single_processor(graph) if p == 1
+               else critical_path_mapping(graph, p, fmax=platform.fmax).mapping)
+    augmented = mapping.augmented_graph()
+    finish = {}
+    for t in augmented.topological_order():
+        s = max((finish[q] for q in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t) / platform.fmax
+    return BiCritProblem(mapping, platform, slack * max(finish.values()))
+
+
+def tricrit(graph, p, slack, *, lambda0=1e-4) -> TriCritProblem:
+    model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0)
+    platform = Platform(p, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+    base = bicrit(graph, p, slack)
+    return TriCritProblem(base.mapping, platform, base.deadline)
+
+
+class TestNoDvfs:
+    def test_everything_at_fmax(self):
+        problem = bicrit(generators.random_chain(4, seed=1), 1, 1.5)
+        result = no_dvfs(problem)
+        schedule = result.require_schedule()
+        assert all(f == problem.fmax for spd in schedule.speed_assignment().values()
+                   for f in spd)
+        assert problem.evaluate(schedule).feasible
+
+    def test_is_energy_upper_bound(self):
+        problem = bicrit(generators.random_layered_dag(3, 3, seed=2), 3, 1.8)
+        optimum = solve_bicrit_continuous(problem)
+        assert no_dvfs(problem).energy >= optimum.energy - 1e-9
+
+
+class TestUniformSlowdown:
+    def test_meets_deadline_exactly_when_binding(self):
+        problem = bicrit(generators.random_chain(4, seed=3), 1, 1.6)
+        result = uniform_slowdown(problem)
+        schedule = result.require_schedule()
+        assert schedule.makespan() == pytest.approx(problem.deadline, rel=1e-9)
+        assert problem.evaluate(schedule).feasible
+
+    def test_rounds_up_to_admissible_mode_on_discrete_platform(self):
+        problem = bicrit(generators.random_chain(4, seed=3), 1, 1.6,
+                         speed_model=DiscreteSpeeds([0.25, 0.5, 0.75, 1.0]))
+        result = uniform_slowdown(problem)
+        schedule = result.require_schedule()
+        assert problem.evaluate(schedule).feasible
+        speed = result.metadata["uniform_speed"]
+        assert problem.platform.speed_model.is_admissible(speed)
+
+    def test_infeasible_detected(self):
+        problem = BiCritProblem(
+            Mapping.single_processor(generators.chain([10.0])),
+            Platform(1, ContinuousSpeeds(0.1, 1.0)), 5.0)
+        assert not uniform_slowdown(problem).feasible
+
+    def test_between_optimum_and_no_dvfs(self):
+        problem = bicrit(generators.random_layered_dag(3, 3, seed=4), 3, 2.0)
+        optimum = solve_bicrit_continuous(problem)
+        uniform = uniform_slowdown(problem)
+        assert optimum.energy - 1e-6 <= uniform.energy <= no_dvfs(problem).energy + 1e-9
+
+    def test_reliability_floor_for_tricrit(self):
+        problem = tricrit(generators.random_chain(4, seed=5), 1, 3.0)
+        result = uniform_slowdown(problem)
+        report = problem.evaluate(result.require_schedule())
+        assert report.feasible  # frel floor respected
+
+
+class TestLocalSlackReclaiming:
+    def test_feasible_and_no_worse_than_no_dvfs(self):
+        problem = bicrit(generators.random_layered_dag(4, 3, seed=6), 3, 1.7)
+        local = local_slack_reclaiming(problem)
+        schedule = local.require_schedule()
+        assert problem.evaluate(schedule).feasible
+        assert local.energy <= no_dvfs(problem).energy + 1e-9
+
+    def test_global_convex_optimum_at_least_as_good(self):
+        problem = bicrit(generators.random_layered_dag(4, 3, seed=7), 3, 1.7)
+        local = local_slack_reclaiming(problem)
+        globally = solve_bicrit_continuous(problem)
+        assert globally.energy <= local.energy + 1e-6
+
+    def test_chain_local_equals_global_when_single_task_has_all_slack(self):
+        # On a single-task "chain" both approaches coincide.
+        problem = bicrit(generators.chain([2.0]), 1, 2.0)
+        local = local_slack_reclaiming(problem)
+        globally = solve_bicrit_continuous(problem)
+        assert local.energy == pytest.approx(globally.energy, rel=1e-6)
+
+    def test_infeasible_instance(self):
+        problem = BiCritProblem(
+            Mapping.single_processor(generators.chain([10.0])),
+            Platform(1, ContinuousSpeeds(0.1, 1.0)), 5.0)
+        assert not local_slack_reclaiming(problem).feasible
+
+
+class TestGreedyReexecution:
+    def test_requires_tricrit(self):
+        problem = bicrit(generators.random_chain(3, seed=8), 1, 2.0)
+        with pytest.raises(TypeError):
+            greedy_reexecution(problem)
+
+    def test_feasible_and_not_worse_than_uniform(self):
+        problem = tricrit(generators.random_chain(5, seed=9), 1, 3.0)
+        result = greedy_reexecution(problem)
+        schedule = result.require_schedule()
+        assert problem.evaluate(schedule).feasible
+        assert result.energy <= uniform_slowdown(problem).energy + 1e-9
+
+    def test_reexecutes_when_slack_is_large(self):
+        problem = tricrit(generators.random_chain(4, seed=10), 1, 4.0)
+        result = greedy_reexecution(problem)
+        assert len(result.metadata["reexecuted"]) >= 1
+
+    def test_registry(self):
+        assert set(BASELINES) == {"no_dvfs", "uniform_slowdown", "local_slack_reclaiming"}

@@ -1,0 +1,108 @@
+"""Tests of the BI-CRIT CONTINUOUS dispatcher (closed form vs convex routes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.continuous.bicrit import solve_bicrit_continuous
+from repro.continuous.closed_form import fork_energy
+from repro.core.problems import BiCritProblem
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def _problem(graph, platform, mapping, slack=1.5):
+    finish = {}
+    augmented = mapping.augmented_graph()
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t) / platform.fmax
+    deadline = slack * max(finish.values())
+    return BiCritProblem(mapping, platform, deadline)
+
+
+class TestRouting:
+    def test_chain_route(self):
+        graph = generators.chain([1.0, 2.0, 3.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = _problem(graph, platform, Mapping.single_processor(graph))
+        result = solve_bicrit_continuous(problem)
+        assert "chain" in result.solver
+        assert result.status == "optimal"
+
+    def test_any_graph_serialised_on_one_processor_uses_chain_route(self):
+        graph = generators.random_layered_dag(3, 2, seed=1)
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = _problem(graph, platform, Mapping.single_processor(graph))
+        result = solve_bicrit_continuous(problem)
+        assert "chain" in result.solver
+        # All tasks share the same speed.
+        speeds = {f for spd in result.schedule.speed_assignment().values() for f in spd}
+        assert len(speeds) == 1
+
+    def test_fork_route(self):
+        graph = generators.fork(2.0, [1.0, 3.0, 2.0])
+        platform = Platform(4, ContinuousSpeeds(0.01, 10.0))
+        problem = _problem(graph, platform, Mapping.one_task_per_processor(graph))
+        result = solve_bicrit_continuous(problem)
+        assert "fork" in result.solver
+        assert result.energy == pytest.approx(
+            fork_energy(2.0, [1.0, 3.0, 2.0], problem.deadline), rel=1e-9
+        )
+
+    def test_series_parallel_route(self):
+        graph = generators.fork_join(1.0, [2.0, 3.0], 1.0)
+        platform = Platform(4, ContinuousSpeeds(0.01, 10.0))
+        problem = _problem(graph, platform, Mapping.one_task_per_processor(graph))
+        result = solve_bicrit_continuous(problem)
+        assert "series_parallel" in result.solver
+
+    def test_general_dag_falls_back_to_convex(self):
+        # The non-SP "N" graph forces the convex route.
+        from repro.dag.taskgraph import TaskGraph
+
+        graph = TaskGraph({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0},
+                          [("a", "c"), ("a", "d"), ("b", "d")])
+        platform = Platform(4, ContinuousSpeeds(0.01, 10.0))
+        problem = _problem(graph, platform, Mapping.one_task_per_processor(graph))
+        result = solve_bicrit_continuous(problem)
+        assert result.solver == "continuous-convex"
+        assert result.feasible
+
+    def test_mapped_sp_graph_with_extra_serialisation_uses_convex(self):
+        graph = generators.fork(1.0, [2.0, 3.0, 1.0])
+        platform = Platform(2, ContinuousSpeeds(0.01, 10.0))
+        mapping = critical_path_mapping(graph, 2, fmax=platform.fmax).mapping
+        problem = _problem(graph, platform, mapping)
+        result = solve_bicrit_continuous(problem)
+        assert result.solver == "continuous-convex"
+
+    def test_prefer_closed_form_flag(self):
+        graph = generators.chain([1.0, 2.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = _problem(graph, platform, Mapping.single_processor(graph))
+        closed = solve_bicrit_continuous(problem, prefer_closed_form=True)
+        numeric = solve_bicrit_continuous(problem, prefer_closed_form=False)
+        assert "closed-form" in closed.solver
+        assert numeric.solver == "continuous-convex"
+        assert numeric.energy == pytest.approx(closed.energy, rel=1e-4)
+
+    def test_infeasible_chain_instance(self):
+        graph = generators.chain([10.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = BiCritProblem(Mapping.single_processor(graph), platform, 5.0)
+        result = solve_bicrit_continuous(problem)
+        assert result.status == "infeasible"
+
+    def test_closed_form_schedules_are_feasible(self):
+        for seed in range(3):
+            graph = generators.random_fork(5, seed=seed)
+            platform = Platform(6, ContinuousSpeeds(0.01, 10.0))
+            problem = _problem(graph, platform, Mapping.one_task_per_processor(graph),
+                               slack=2.0)
+            result = solve_bicrit_continuous(problem)
+            schedule = result.require_schedule()
+            assert schedule.is_feasible(problem.deadline, deadline_tol=1e-6)

@@ -1,0 +1,205 @@
+"""Tests of the closed-form BI-CRIT CONTINUOUS solutions (paper Section III)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.closed_form import (
+    NoFeasibleSpeedError,
+    chain_bicrit,
+    equivalent_weight,
+    fork_bicrit,
+    fork_energy,
+    join_bicrit,
+    series_parallel_bicrit,
+)
+from repro.dag import generators
+from repro.dag.series_parallel import SPLeaf, SPParallel, SPSeries, decompose
+
+
+class TestChainClosedForm:
+    def test_uniform_speed(self):
+        sol = chain_bicrit([1.0, 2.0, 3.0], 12.0)
+        assert all(f == pytest.approx(0.5) for f in sol.speeds.values())
+        assert sol.energy == pytest.approx(6.0 * 0.25)
+        assert sum(sol.durations.values()) == pytest.approx(12.0)
+
+    def test_energy_formula(self):
+        # E = (sum w)^3 / D^2.
+        sol = chain_bicrit([2.0, 2.0], 4.0)
+        assert sol.energy == pytest.approx(4.0 ** 3 / 16.0)
+
+    def test_fmax_infeasible(self):
+        with pytest.raises(NoFeasibleSpeedError):
+            chain_bicrit([10.0], 5.0, fmax=1.0)
+
+    def test_fmin_clamp(self):
+        sol = chain_bicrit([1.0], 100.0, fmin=0.5)
+        assert sol.speeds["T0"] == pytest.approx(0.5)
+
+    def test_custom_task_ids(self):
+        sol = chain_bicrit([1.0, 1.0], 4.0, task_ids=["a", "b"])
+        assert set(sol.speeds) == {"a", "b"}
+        with pytest.raises(ValueError):
+            chain_bicrit([1.0, 1.0], 4.0, task_ids=["a"])
+
+    def test_zero_weights(self):
+        sol = chain_bicrit([0.0, 0.0], 4.0)
+        assert sol.energy == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_bicrit([1.0], 0.0)
+        with pytest.raises(ValueError):
+            chain_bicrit([-1.0], 1.0)
+
+
+class TestForkTheorem:
+    def test_paper_formula_speeds(self):
+        w0, children, D = 2.0, [1.0, 3.0, 2.0], 5.0
+        norm = (sum(w ** 3 for w in children)) ** (1.0 / 3.0)
+        sol = fork_bicrit(w0, children, D)
+        assert sol.speeds["T0"] == pytest.approx((norm + w0) / D)
+        for i, w in enumerate(children, start=1):
+            assert sol.speeds[f"T{i}"] == pytest.approx(sol.speeds["T0"] * w / norm)
+
+    def test_paper_energy_formula(self):
+        w0, children, D = 2.0, [1.0, 3.0, 2.0], 5.0
+        sol = fork_bicrit(w0, children, D)
+        expected = fork_energy(w0, children, D)
+        assert sol.energy == pytest.approx(expected)
+        norm = (sum(w ** 3 for w in children)) ** (1.0 / 3.0)
+        assert expected == pytest.approx((norm + w0) ** 3 / D ** 2)
+
+    def test_makespan_is_tight(self):
+        sol = fork_bicrit(2.0, [1.0, 3.0], 4.0)
+        # Source duration plus the longest child duration equals the deadline.
+        child_finish = [sol.durations["T0"] + sol.durations[t] for t in ("T1", "T2")]
+        assert max(child_finish) == pytest.approx(4.0)
+
+    def test_children_finish_simultaneously(self):
+        sol = fork_bicrit(1.0, [1.0, 2.0, 5.0], 6.0)
+        finishes = {t: sol.durations["T0"] + sol.durations[t] for t in ("T1", "T2", "T3")}
+        values = list(finishes.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_fmax_saturation_case(self):
+        # f0 would exceed fmax, so the source runs at fmax and children share D'.
+        w0, children, D, fmax = 3.0, [2.0, 2.0], 5.5, 1.0
+        norm = (sum(w ** 3 for w in children)) ** (1.0 / 3.0)
+        assert (norm + w0) / D > fmax
+        sol = fork_bicrit(w0, children, D, fmax=fmax)
+        assert sol.speeds["T0"] == pytest.approx(fmax)
+        d_prime = D - w0 / fmax
+        assert sol.speeds["T1"] == pytest.approx(2.0 / d_prime)
+
+    def test_no_solution_when_even_saturated_children_too_slow(self):
+        with pytest.raises(NoFeasibleSpeedError):
+            fork_bicrit(4.0, [3.0, 3.0], 5.0, fmax=1.0)
+
+    def test_no_solution_when_source_alone_exceeds_deadline(self):
+        with pytest.raises(NoFeasibleSpeedError):
+            fork_bicrit(10.0, [1.0], 5.0, fmax=1.0)
+
+    def test_degenerate_fork_without_children(self):
+        sol = fork_bicrit(3.0, [], 6.0)
+        assert sol.speeds["T0"] == pytest.approx(0.5)
+        assert sol.energy == pytest.approx(3.0 * 0.25)
+
+    def test_fmin_clamp_marks_out_of_closed_form(self):
+        sol = fork_bicrit(1.0, [0.001, 2.0], 3.0, fmin=0.5)
+        assert not sol.within_bounds  # tiny child clamped to fmin
+
+    def test_join_mirror(self):
+        fork_sol = fork_bicrit(2.0, [1.0, 3.0], 5.0)
+        join_sol = join_bicrit([1.0, 3.0], 2.0, 5.0)
+        assert join_sol.energy == pytest.approx(fork_sol.energy)
+        assert join_sol.structure == "join"
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=8),
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fork_energy_at_least_chain_lower_bound_of_critical_path(self, children, w0, D):
+        """The fork optimum is at least the energy of its heaviest source+child
+        path executed alone, and at most the energy of serialising everything."""
+        energy = fork_energy(w0, children, D)
+        heaviest = max(children)
+        path_energy = (w0 + heaviest) ** 3 / D ** 2
+        serial_energy = (w0 + sum(children)) ** 3 / D ** 2
+        assert path_energy - 1e-9 <= energy <= serial_energy + 1e-9
+
+
+class TestSeriesParallelClosedForm:
+    def test_equivalent_weight_leaf_series_parallel(self):
+        tree = SPSeries((SPLeaf("a", 1.0),
+                         SPParallel((SPLeaf("b", 2.0), SPLeaf("c", 3.0)))))
+        expected = 1.0 + (2.0 ** 3 + 3.0 ** 3) ** (1.0 / 3.0)
+        assert equivalent_weight(tree) == pytest.approx(expected)
+
+    def test_fork_is_special_case_of_sp_recursion(self):
+        w0, children, D = 2.0, [1.0, 3.0, 2.0], 5.0
+        graph = generators.fork(w0, children)
+        sp = series_parallel_bicrit(graph, D)
+        assert sp.energy == pytest.approx(fork_energy(w0, children, D))
+
+    def test_chain_is_special_case(self):
+        graph = generators.chain([1.0, 2.0, 3.0])
+        sp = series_parallel_bicrit(graph, 12.0)
+        assert sp.energy == pytest.approx(6.0 ** 3 / 144.0)
+
+    def test_energy_equals_equivalent_weight_formula(self):
+        for seed in range(4):
+            graph = generators.random_series_parallel(7, seed=seed)
+            tree = decompose(graph)
+            D = 2.0 * graph.critical_path_weight()
+            sp = series_parallel_bicrit(graph, D)
+            W = equivalent_weight(tree)
+            assert sp.energy == pytest.approx(W ** 3 / D ** 2, rel=1e-9)
+
+    def test_durations_satisfy_precedence_budget(self):
+        graph = generators.fork_join(1.0, [2.0, 5.0], 1.5)
+        D = 6.0
+        sp = series_parallel_bicrit(graph, D)
+        # Longest path through any branch equals the deadline.
+        finish = {}
+        for t in graph.topological_order():
+            start = max((finish[p] for p in graph.predecessors(t)), default=0.0)
+            finish[t] = start + sp.durations[t]
+        assert max(finish.values()) == pytest.approx(D)
+
+    def test_bounds_flag(self):
+        graph = generators.fork(1.0, [1.0, 1.0])
+        tight = series_parallel_bicrit(graph, 1.0, fmax=1.0)
+        assert not tight.within_bounds
+        loose = series_parallel_bicrit(graph, 10.0, fmax=1.0, fmin=0.01)
+        assert loose.within_bounds
+
+    def test_non_sp_graph_raises(self):
+        from repro.dag.series_parallel import NotSeriesParallelError
+        from repro.dag.taskgraph import TaskGraph
+
+        g = TaskGraph({"a": 1, "b": 1, "c": 1, "d": 1},
+                      [("a", "c"), ("a", "d"), ("b", "d")])
+        with pytest.raises(NotSeriesParallelError):
+            series_parallel_bicrit(g, 5.0)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            series_parallel_bicrit(generators.chain([1.0]), 0.0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=200),
+           st.floats(min_value=1.2, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_sp_energy_between_critical_path_and_serial_bounds(self, n, seed, slack):
+        graph = generators.random_series_parallel(n, seed=seed)
+        D = slack * graph.critical_path_weight()
+        sp = series_parallel_bicrit(graph, D)
+        cp_bound = graph.critical_path_weight() ** 3 / D ** 2
+        serial_bound = graph.total_weight() ** 3 / D ** 2
+        assert cp_bound - 1e-9 <= sp.energy <= serial_bound + 1e-9

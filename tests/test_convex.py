@@ -1,0 +1,144 @@
+"""Tests of the numerical convex solver for general mapped DAGs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.continuous.closed_form import chain_bicrit, fork_energy, series_parallel_bicrit
+from repro.continuous.convex import solve_bicrit_convex, solve_bicrit_continuous_dag
+from repro.core.problems import BiCritProblem
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.dag.taskgraph import TaskGraph
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+WIDE = Platform(16, ContinuousSpeeds(0.001, 100.0))
+
+
+class TestAgainstClosedForms:
+    def test_chain(self):
+        graph = generators.chain([1.0, 2.0, 3.0])
+        mapping = Mapping.single_processor(graph)
+        result = solve_bicrit_convex(mapping, WIDE, 12.0)
+        expected = chain_bicrit([1.0, 2.0, 3.0], 12.0).energy
+        assert result.energy == pytest.approx(expected, rel=1e-4)
+        assert result.status in ("optimal", "feasible")
+
+    def test_fork(self):
+        graph = generators.fork(2.0, [1.0, 3.0, 2.0])
+        mapping = Mapping.one_task_per_processor(graph)
+        result = solve_bicrit_convex(mapping, WIDE, 5.0)
+        assert result.energy == pytest.approx(fork_energy(2.0, [1.0, 3.0, 2.0], 5.0),
+                                              rel=1e-4)
+
+    def test_random_series_parallel(self):
+        graph = generators.random_series_parallel(9, seed=3)
+        mapping = Mapping.one_task_per_processor(graph)
+        deadline = 1.8 * graph.critical_path_weight()
+        result = solve_bicrit_convex(mapping, WIDE, deadline)
+        expected = series_parallel_bicrit(graph, deadline).energy
+        assert result.energy == pytest.approx(expected, rel=1e-3)
+
+    @pytest.mark.parametrize("method", ["slsqp", "trust-constr"])
+    def test_both_methods_agree(self, method):
+        graph = generators.fork(2.0, [1.0, 3.0])
+        mapping = Mapping.one_task_per_processor(graph)
+        result = solve_bicrit_convex(mapping, WIDE, 4.0, method=method)
+        assert result.energy == pytest.approx(fork_energy(2.0, [1.0, 3.0], 4.0), rel=1e-3)
+
+
+class TestConstraintsAndBounds:
+    def test_solution_meets_deadline_on_mapped_dag(self):
+        graph = generators.random_layered_dag(4, 3, seed=7)
+        platform = Platform(3, ContinuousSpeeds(0.1, 1.0))
+        mapping = critical_path_mapping(graph, 3, fmax=1.0).mapping
+        deadline = 1.6 * critical_path_mapping(graph, 3, fmax=1.0).makespan
+        result = solve_bicrit_convex(mapping, platform, deadline)
+        assert result.feasible
+        # Recompute the makespan from the durations on the augmented graph.
+        augmented = mapping.augmented_graph()
+        finish = {}
+        for t in augmented.topological_order():
+            start = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+            finish[t] = start + result.durations[t]
+        assert max(finish.values()) <= deadline * (1.0 + 1e-5)
+
+    def test_speed_bounds_respected(self):
+        graph = generators.chain([2.0, 2.0])
+        platform = Platform(1, ContinuousSpeeds(0.4, 1.0))
+        mapping = Mapping.single_processor(graph)
+        result = solve_bicrit_convex(mapping, platform, 100.0)
+        for t in graph.tasks():
+            assert result.speeds[t] >= 0.4 - 1e-6
+            assert result.speeds[t] <= 1.0 + 1e-6
+
+    def test_per_task_speed_floor(self):
+        graph = generators.chain([2.0, 2.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        mapping = Mapping.single_processor(graph)
+        result = solve_bicrit_convex(mapping, platform, 20.0,
+                                     min_speed={"T0": 0.9, "T1": 0.1})
+        assert result.speeds["T0"] >= 0.9 - 1e-6
+
+    def test_effective_weights_override(self):
+        graph = generators.chain([2.0, 2.0])
+        platform = Platform(1, ContinuousSpeeds(0.05, 2.0))
+        mapping = Mapping.single_processor(graph)
+        doubled = solve_bicrit_convex(mapping, platform, 10.0,
+                                      effective_weights={"T0": 4.0, "T1": 2.0})
+        expected = chain_bicrit([4.0, 2.0], 10.0).energy
+        assert doubled.energy == pytest.approx(expected, rel=1e-4)
+
+    def test_infeasible_detected(self):
+        graph = generators.chain([10.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        mapping = Mapping.single_processor(graph)
+        result = solve_bicrit_convex(mapping, platform, 5.0)
+        assert result.status == "infeasible"
+        assert result.energy == math.inf
+
+    def test_zero_weight_tasks_are_contracted(self):
+        graph = TaskGraph({"a": 1.0, "z": 0.0, "b": 2.0}, [("a", "z"), ("z", "b")])
+        mapping = Mapping.single_processor(graph)
+        result = solve_bicrit_convex(mapping, WIDE, 6.0)
+        # Behaves exactly like the chain a->b.
+        assert result.energy == pytest.approx(chain_bicrit([1.0, 2.0], 6.0).energy,
+                                              rel=1e-4)
+        assert result.durations["z"] == 0.0
+
+    def test_invalid_arguments(self):
+        graph = generators.chain([1.0])
+        mapping = Mapping.single_processor(graph)
+        with pytest.raises(ValueError):
+            solve_bicrit_convex(mapping, WIDE, -1.0)
+        with pytest.raises(ValueError):
+            solve_bicrit_convex(mapping, WIDE, 1.0, min_speed=2.0, max_speed=1.0)
+        with pytest.raises(ValueError):
+            solve_bicrit_convex(mapping, WIDE, 1.0, method="nope")
+
+
+class TestProblemWrapper:
+    def test_solve_result_schedule_is_feasible(self):
+        graph = generators.random_layered_dag(3, 3, seed=2)
+        platform = Platform(3, ContinuousSpeeds(0.1, 1.0))
+        mapping = critical_path_mapping(graph, 3, fmax=1.0).mapping
+        deadline = 1.7 * critical_path_mapping(graph, 3, fmax=1.0).makespan
+        problem = BiCritProblem(mapping, platform, deadline)
+        result = solve_bicrit_continuous_dag(problem)
+        assert result.feasible
+        schedule = result.require_schedule()
+        assert schedule.is_feasible(deadline, deadline_tol=1e-5)
+        assert result.energy == pytest.approx(schedule.energy())
+
+    def test_infeasible_problem_wrapper(self):
+        graph = generators.chain([10.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = BiCritProblem(Mapping.single_processor(graph), platform, 5.0)
+        result = solve_bicrit_continuous_dag(problem)
+        assert result.status == "infeasible"
+        assert result.schedule is None

@@ -1,0 +1,123 @@
+"""Cross-cutting property-based tests of the paper's structural results.
+
+These hypothesis tests encode the orderings and invariants that tie the
+library together, on randomly generated instances:
+
+* the fork formula equals the series-parallel recursion on forks;
+* more available modes can only help VDD-HOPPING;
+* the VDD-HOPPING optimum is monotone in the deadline;
+* re-execution never hurts the optimal TRI-CRIT chain energy when slack grows;
+* every solver's schedule passes the independent feasibility checker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.closed_form import fork_energy, series_parallel_bicrit
+from repro.continuous.tricrit_chain import solve_tricrit_chain_greedy
+from repro.core.problems import BiCritProblem, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds, VddHoppingSpeeds
+from repro.dag import generators
+from repro.discrete.vdd_lp import solve_bicrit_vdd_lp
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+weights_strategy = st.lists(st.floats(min_value=0.5, max_value=8.0),
+                            min_size=2, max_size=6)
+
+
+class TestClosedFormConsistency:
+    @given(st.floats(min_value=0.5, max_value=8.0), weights_strategy,
+           st.floats(min_value=1.0, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fork_formula_equals_sp_recursion(self, w0, children, deadline):
+        graph = generators.fork(w0, children)
+        sp = series_parallel_bicrit(graph, deadline)
+        assert sp.energy == pytest.approx(fork_energy(w0, children, deadline),
+                                          rel=1e-9)
+
+    @given(weights_strategy, st.floats(min_value=1.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_serialising_a_fork_costs_at_least_as_much(self, children, slack):
+        """Running the children sequentially (chain) can never use less energy
+        than running them in parallel (fork) under the same deadline."""
+        w0 = 1.0
+        deadline = slack * (w0 + max(children))
+        parallel_energy = fork_energy(w0, children, deadline)
+        serial_energy = (w0 + sum(children)) ** 3 / deadline ** 2
+        assert serial_energy >= parallel_energy - 1e-9
+
+
+class TestVddMonotonicity:
+    def _chain_problem(self, weights, slack, modes):
+        graph = generators.chain(list(weights))
+        platform = Platform(1, VddHoppingSpeeds(modes))
+        deadline = slack * graph.total_weight() / platform.fmax
+        return BiCritProblem(Mapping.single_processor(graph), platform, deadline)
+
+    @given(weights_strategy, st.floats(min_value=1.1, max_value=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_more_modes_never_hurt(self, weights, slack):
+        coarse = self._chain_problem(weights, slack, (0.2, 0.6, 1.0))
+        fine = self._chain_problem(weights, slack, (0.2, 0.4, 0.6, 0.8, 1.0))
+        e_coarse = solve_bicrit_vdd_lp(coarse).energy
+        e_fine = solve_bicrit_vdd_lp(fine).energy
+        assert e_fine <= e_coarse * (1 + 1e-9)
+
+    @given(weights_strategy, st.floats(min_value=1.1, max_value=2.0),
+           st.floats(min_value=1.05, max_value=1.8))
+    @settings(max_examples=20, deadline=None)
+    def test_longer_deadline_never_hurts(self, weights, slack, stretch):
+        tight = self._chain_problem(weights, slack, (0.2, 0.4, 0.6, 0.8, 1.0))
+        loose = BiCritProblem(tight.mapping, tight.platform, tight.deadline * stretch)
+        assert solve_bicrit_vdd_lp(loose).energy <= solve_bicrit_vdd_lp(tight).energy * (1 + 1e-9)
+
+    @given(weights_strategy, st.floats(min_value=1.1, max_value=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_vdd_schedule_passes_independent_checker(self, weights, slack):
+        problem = self._chain_problem(weights, slack, (0.2, 0.4, 0.6, 0.8, 1.0))
+        result = solve_bicrit_vdd_lp(problem)
+        schedule = result.require_schedule()
+        assert problem.evaluate(schedule).feasible
+
+
+class TestTriCritChainProperties:
+    def _problem(self, weights, slack):
+        graph = generators.chain(list(weights))
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4)
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+        deadline = slack * graph.total_weight()
+        return TriCritProblem(Mapping.single_processor(graph), platform, deadline)
+
+    @given(weights_strategy, st.floats(min_value=1.05, max_value=2.0),
+           st.floats(min_value=1.1, max_value=2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_energy_monotone_in_deadline(self, weights, slack, stretch):
+        tight = self._problem(weights, slack)
+        loose = TriCritProblem(tight.mapping, tight.platform, tight.deadline * stretch)
+        e_tight = solve_tricrit_chain_greedy(tight).energy
+        e_loose = solve_tricrit_chain_greedy(loose).energy
+        assert e_loose <= e_tight * (1 + 1e-9)
+
+    @given(weights_strategy, st.floats(min_value=1.2, max_value=3.5))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_schedule_is_always_feasible_and_reliable(self, weights, slack):
+        problem = self._problem(weights, slack)
+        result = solve_tricrit_chain_greedy(problem)
+        assert result.feasible
+        assert problem.evaluate(result.require_schedule()).feasible
+
+    @given(weights_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_energy_never_below_continuous_bicrit_bound(self, weights):
+        """Reliability can only cost energy: the TRI-CRIT optimum is at least
+        the unconstrained chain bound (sum w)^3 / D^2."""
+        problem = self._problem(weights, 2.0)
+        result = solve_tricrit_chain_greedy(problem)
+        bound = sum(weights) ** 3 / problem.deadline ** 2
+        assert result.energy >= bound - 1e-9

@@ -1,0 +1,67 @@
+"""Tests of task-graph serialisation (JSON and DOT)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dag import generators
+from repro.dag.io import (
+    load_json,
+    save_json,
+    taskgraph_from_dict,
+    taskgraph_to_dict,
+    to_dot,
+)
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip(self):
+        g = generators.fork_join(1.0, [2.0, 3.0], 4.0)
+        data = taskgraph_to_dict(g)
+        rebuilt = taskgraph_from_dict(data)
+        assert rebuilt == g
+
+    def test_dict_is_json_serialisable(self):
+        g = generators.random_layered_dag(3, 2, seed=1)
+        text = json.dumps(taskgraph_to_dict(g))
+        rebuilt = taskgraph_from_dict(json.loads(text))
+        assert rebuilt == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = generators.random_series_parallel(6, seed=4)
+        path = tmp_path / "graph.json"
+        save_json(g, path)
+        assert load_json(path) == g
+
+    def test_unsupported_version_rejected(self):
+        g = generators.chain([1.0])
+        data = taskgraph_to_dict(g)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            taskgraph_from_dict(data)
+
+    def test_edges_are_sorted_for_determinism(self):
+        g = generators.fork(1.0, [1.0, 1.0, 1.0])
+        d1 = taskgraph_to_dict(g)
+        d2 = taskgraph_to_dict(g.copy())
+        assert d1 == d2
+
+
+class TestDot:
+    def test_dot_contains_every_task_and_edge(self):
+        g = generators.fork(1.0, [2.0, 3.0])
+        dot = to_dot(g, name="fork")
+        assert dot.startswith("digraph fork {")
+        assert dot.rstrip().endswith("}")
+        for t in g.tasks():
+            assert f'"{t}"' in dot
+        for u, v in g.edges():
+            assert f'"{u}" -> "{v}";' in dot
+
+    def test_dot_includes_weights(self):
+        g = generators.chain([1.5, 2.0])
+        dot = to_dot(g)
+        assert "w=1.5" in dot
+        assert "w=2" in dot

@@ -1,0 +1,158 @@
+"""Tests of the synthetic task-graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import generators
+from repro.dag.analysis import depth_layers
+
+
+class TestElementaryStructures:
+    def test_chain(self):
+        g = generators.chain([1.0, 2.0, 3.0])
+        assert g.is_chain()
+        assert g.num_tasks == 3
+        assert g.total_weight() == pytest.approx(6.0)
+        assert g.chain_order() == ["T0", "T1", "T2"]
+
+    def test_chain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generators.chain([])
+
+    def test_fork(self):
+        g = generators.fork(2.0, [1.0, 1.0, 1.0])
+        ok, source = g.is_fork()
+        assert ok and source == "T0"
+        assert g.num_tasks == 4
+        assert g.num_edges == 3
+
+    def test_join(self):
+        g = generators.join([1.0, 1.0], 2.0)
+        ok, sink = g.is_join()
+        assert ok and sink == "T2"
+
+    def test_fork_join(self):
+        g = generators.fork_join(1.0, [2.0, 3.0], 1.0)
+        assert g.num_tasks == 4
+        assert g.sources() == ["T0"]
+        assert g.sinks() == ["T3"]
+        assert g.num_edges == 4
+
+    def test_out_tree(self):
+        g = generators.out_tree(3, 2)
+        assert g.num_tasks == 7
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 4
+        # Every non-root node has exactly one parent.
+        for t in g.tasks():
+            assert len(g.predecessors(t)) <= 1
+
+    def test_out_tree_with_explicit_weights(self):
+        g = generators.out_tree(2, 2, [1.0, 2.0, 3.0])
+        assert g.weight("T1") == 2.0
+        with pytest.raises(ValueError):
+            generators.out_tree(2, 2, [1.0])
+
+    def test_in_tree(self):
+        g = generators.in_tree(3, 2)
+        assert len(g.sinks()) == 1
+        assert len(g.sources()) == 4
+
+    def test_invalid_tree_parameters(self):
+        with pytest.raises(ValueError):
+            generators.out_tree(0, 2)
+
+
+class TestRandomGenerators:
+    def test_random_weights_range_and_reproducibility(self):
+        w1 = generators.random_weights(10, seed=3, low=2.0, high=4.0)
+        w2 = generators.random_weights(10, seed=3, low=2.0, high=4.0)
+        assert (w1 == w2).all()
+        assert (w1 >= 2.0).all() and (w1 <= 4.0).all()
+        with pytest.raises(ValueError):
+            generators.random_weights(5, low=0.0, high=1.0)
+
+    def test_random_chain_and_fork(self):
+        assert generators.random_chain(5, seed=1).is_chain()
+        ok, _ = generators.random_fork(4, seed=1).is_fork()
+        assert ok
+
+    def test_random_series_parallel_is_series_parallel(self):
+        from repro.dag.series_parallel import is_series_parallel
+
+        for seed in range(5):
+            g = generators.random_series_parallel(7, seed=seed)
+            assert g.num_tasks == 7
+            assert is_series_parallel(g)
+
+    def test_random_layered_dag_structure(self):
+        g = generators.random_layered_dag(4, 3, seed=2)
+        assert g.num_tasks == 12
+        layers = depth_layers(g)
+        assert len(layers) == 4
+        # With ensure_connected every non-top layer task has a predecessor.
+        for t in g.tasks():
+            if not t.startswith("L0"):
+                assert g.predecessors(t)
+
+    def test_random_layered_dag_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_layered_dag(0, 3)
+        with pytest.raises(ValueError):
+            generators.random_layered_dag(2, 2, edge_probability=1.5)
+
+    def test_random_dag_erdos_is_acyclic_and_reproducible(self):
+        g1 = generators.random_dag_erdos(10, 0.3, seed=5)
+        g2 = generators.random_dag_erdos(10, 0.3, seed=5)
+        assert g1 == g2
+        assert nx.is_directed_acyclic_graph(g1.graph)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_series_parallel_property(self, n_leaves, seed):
+        g = generators.random_series_parallel(n_leaves, seed=seed)
+        assert g.num_tasks == n_leaves
+        assert nx.is_directed_acyclic_graph(g.graph)
+
+
+class TestApplicationDags:
+    def test_fft_butterfly(self):
+        g = generators.fft_butterfly(3)
+        # (stages + 1) * 2^stages tasks.
+        assert g.num_tasks == 4 * 8
+        assert nx.is_directed_acyclic_graph(g.graph)
+        # Each non-input task has exactly 2 predecessors.
+        for t in g.tasks():
+            if not t.startswith("fft_0"):
+                assert len(g.predecessors(t)) == 2
+
+    def test_stencil(self):
+        g = generators.stencil_1d(4, 2)
+        assert g.num_tasks == 4 * 3
+        # Interior cells have 3 predecessors, border cells 2.
+        assert len(g.predecessors("st_1_1")) == 3
+        assert len(g.predecessors("st_1_0")) == 2
+
+    def test_phase_fork_join(self):
+        g = generators.phase_fork_join(3, 4, seed=1)
+        assert g.num_tasks == 3 * (4 + 2)
+        assert nx.is_directed_acyclic_graph(g.graph)
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_generator_registry(self):
+        assert set(generators.GENERATOR_REGISTRY) >= {"chain", "fork", "layered"}
+        g = generators.GENERATOR_REGISTRY["chain"](4, seed=0)
+        assert g.is_chain()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generators.fft_butterfly(0)
+        with pytest.raises(ValueError):
+            generators.stencil_1d(0, 1)
+        with pytest.raises(ValueError):
+            generators.phase_fork_join(0, 1)

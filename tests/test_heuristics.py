@@ -1,0 +1,138 @@
+"""Tests of the two TRI-CRIT heuristic families and their combination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.continuous.exhaustive import best_known_tricrit, solve_tricrit_exhaustive
+from repro.continuous.heuristics import (
+    TRICRIT_HEURISTICS,
+    best_of_heuristics,
+    heuristic_energy_gain,
+    heuristic_parallel_slack,
+    solve_tricrit_no_reexec,
+    solve_with_reexec_set,
+)
+from repro.core.problems import TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def make_problem(graph, num_processors, slack, *, lambda0=1e-4) -> TriCritProblem:
+    model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0)
+    platform = Platform(num_processors, ContinuousSpeeds(0.1, 1.0),
+                        reliability_model=model)
+    mapping = critical_path_mapping(graph, num_processors, fmax=1.0).mapping
+    augmented = mapping.augmented_graph()
+    finish = {}
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t)
+    deadline = slack * max(finish.values())
+    return TriCritProblem(mapping, platform, deadline)
+
+
+@pytest.fixture
+def layered_problem() -> TriCritProblem:
+    return make_problem(generators.random_layered_dag(3, 3, seed=5), 3, slack=2.0)
+
+
+class TestRestrictedSolver:
+    def test_no_reexec_solution_is_reliable(self, layered_problem):
+        result = solve_tricrit_no_reexec(layered_problem)
+        assert result.feasible
+        report = layered_problem.evaluate(result.require_schedule())
+        assert report.feasible
+
+    def test_reexec_set_recorded_and_applied(self, layered_problem):
+        task = next(t for t in layered_problem.graph.tasks()
+                    if layered_problem.graph.weight(t) > 0)
+        result = solve_with_reexec_set(layered_problem, [task])
+        assert result.feasible
+        schedule = result.require_schedule()
+        assert schedule.decisions[task].is_reexecuted
+        assert str(task) in result.metadata["reexecuted"]
+        report = layered_problem.evaluate(schedule)
+        assert report.feasible
+
+    def test_infeasible_reexec_set(self):
+        problem = make_problem(generators.chain([2.0, 2.0]), 1, slack=1.05)
+        all_tasks = list(problem.graph.tasks())
+        result = solve_with_reexec_set(problem, all_tasks)
+        assert not result.feasible
+
+
+class TestHeuristicFamilies:
+    def test_both_families_feasible_and_never_worse_than_no_reexec(self, layered_problem):
+        base = solve_tricrit_no_reexec(layered_problem)
+        a = heuristic_energy_gain(layered_problem)
+        b = heuristic_parallel_slack(layered_problem)
+        for result in (a, b):
+            assert result.feasible
+            assert result.energy <= base.energy + 1e-9
+            report = layered_problem.evaluate(result.require_schedule())
+            assert report.feasible
+
+    def test_best_of_takes_the_minimum(self, layered_problem):
+        a = heuristic_energy_gain(layered_problem)
+        b = heuristic_parallel_slack(layered_problem)
+        best = best_of_heuristics(layered_problem)
+        assert best.energy == pytest.approx(min(a.energy, b.energy), rel=1e-9)
+        assert best.metadata["winner"] in (a.solver, b.solver)
+
+    def test_heuristics_close_to_exhaustive_on_small_instances(self):
+        problem = make_problem(generators.random_layered_dag(2, 3, seed=11), 3, slack=2.5)
+        best = best_of_heuristics(problem)
+        reference = solve_tricrit_exhaustive(problem)
+        assert best.energy <= reference.energy * 1.10 + 1e-9
+        assert best.energy >= reference.energy - 1e-6
+
+    def test_chain_heuristic_on_chain_instances(self):
+        problem = make_problem(generators.random_chain(6, seed=3), 1, slack=2.5)
+        a = heuristic_energy_gain(problem)
+        reference = solve_tricrit_exhaustive(problem)
+        assert a.energy <= reference.energy * 1.10 + 1e-9
+
+    def test_slack_heuristic_on_fork_instances(self):
+        problem = make_problem(generators.random_fork(5, seed=4), 6, slack=2.5)
+        b = heuristic_parallel_slack(problem)
+        reference = solve_tricrit_exhaustive(problem)
+        assert b.energy <= reference.energy * 1.10 + 1e-9
+
+    def test_registry_contains_all_heuristics(self):
+        assert set(TRICRIT_HEURISTICS) == {"no_reexec", "energy_gain",
+                                           "parallel_slack", "best_of"}
+
+    def test_infeasible_instance_propagates(self):
+        problem = make_problem(generators.chain([4.0, 4.0]), 1, slack=0.9)
+        result = heuristic_energy_gain(problem)
+        assert not result.feasible
+
+
+class TestExhaustive:
+    def test_exhaustive_subset_count(self):
+        problem = make_problem(generators.random_chain(4, seed=1), 1, slack=2.0)
+        result = solve_tricrit_exhaustive(problem)
+        assert result.metadata["subsets_evaluated"] == 2 ** 4
+        assert result.status == "optimal"
+
+    def test_exhaustive_guard(self):
+        problem = make_problem(generators.random_chain(8, seed=1), 1, slack=2.0)
+        with pytest.raises(ValueError):
+            solve_tricrit_exhaustive(problem, max_tasks=5)
+
+    def test_best_known_switches_between_exact_and_heuristic(self):
+        small = make_problem(generators.random_chain(4, seed=2), 1, slack=2.0)
+        assert best_known_tricrit(small).solver == "tricrit-exhaustive"
+        large = make_problem(generators.random_chain(14, seed=2), 1, slack=2.0)
+        assert "heuristic" in best_known_tricrit(large, exhaustive_limit=6).solver
+
+    def test_exhaustive_at_least_as_good_as_heuristics(self):
+        problem = make_problem(generators.random_fork(4, seed=6), 5, slack=2.5)
+        exact = solve_tricrit_exhaustive(problem)
+        best = best_of_heuristics(problem)
+        assert exact.energy <= best.energy + 1e-6

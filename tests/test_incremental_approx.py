@@ -1,0 +1,131 @@
+"""Tests of the INCREMENTAL approximation algorithm and its guaranteed factor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.bicrit import solve_bicrit_continuous
+from repro.core.problems import BiCritProblem
+from repro.core.speeds import ContinuousSpeeds, DiscreteSpeeds, IncrementalSpeeds
+from repro.dag import generators
+from repro.discrete.exact import solve_bicrit_discrete_milp
+from repro.discrete.incremental_approx import (
+    approximation_bound,
+    solve_bicrit_incremental_approx,
+)
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def incremental_problem(weights, slack, *, fmin=0.25, fmax=1.0, delta=0.25) -> BiCritProblem:
+    graph = generators.chain(weights)
+    platform = Platform(1, IncrementalSpeeds(fmin, fmax, delta))
+    deadline = slack * graph.total_weight() / fmax
+    return BiCritProblem(Mapping.single_processor(graph), platform, deadline)
+
+
+class TestApproximationBound:
+    def test_formula(self):
+        model = IncrementalSpeeds(0.5, 1.0, 0.1)
+        assert approximation_bound(model) == pytest.approx((1 + 0.1 / 0.5) ** 2)
+        assert approximation_bound(model, K=4) == pytest.approx(
+            (1 + 0.2) ** 2 * (1 + 0.25) ** 2
+        )
+
+    def test_invalid_k(self):
+        model = IncrementalSpeeds(0.5, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            approximation_bound(model, K=0)
+
+    def test_alternative_exponent(self):
+        model = IncrementalSpeeds(0.5, 1.0, 0.1)
+        assert approximation_bound(model, exponent=2.0) == pytest.approx(1.2)
+
+
+class TestApproximationAlgorithm:
+    def test_feasible_and_admissible(self):
+        problem = incremental_problem([1.0, 2.0, 1.5], 1.6)
+        result = solve_bicrit_incremental_approx(problem)
+        schedule = result.require_schedule()
+        assert schedule.is_feasible(problem.deadline, deadline_tol=1e-6)
+        for decision in schedule.decisions.values():
+            assert problem.platform.speed_model.is_admissible(decision.speeds()[0])
+
+    def test_within_guaranteed_factor_of_continuous(self):
+        for slack in (1.3, 1.8, 2.5):
+            problem = incremental_problem([1.0, 2.0, 3.0, 1.0], slack)
+            result = solve_bicrit_incremental_approx(problem)
+            continuous = solve_bicrit_continuous(BiCritProblem(
+                problem.mapping, problem.platform.continuous_twin(), problem.deadline))
+            bound = approximation_bound(problem.platform.speed_model)
+            assert result.energy <= bound * continuous.energy * (1 + 1e-6)
+
+    def test_within_factor_of_discrete_optimum(self):
+        # The continuous optimum lower-bounds the discrete optimum, so the
+        # approximation is also within the factor of the true optimum.
+        problem = incremental_problem([1.0, 2.0], 1.5)
+        approx = solve_bicrit_incremental_approx(problem)
+        exact = solve_bicrit_discrete_milp(problem)
+        bound = approximation_bound(problem.platform.speed_model)
+        assert exact.energy <= approx.energy * (1 + 1e-9)
+        assert approx.energy <= bound * exact.energy * (1 + 1e-6)
+
+    def test_k_parameter_tightens_deadline(self):
+        problem = incremental_problem([1.0, 2.0, 1.0], 2.0)
+        exact_relax = solve_bicrit_incremental_approx(problem, K=None)
+        shrunk = solve_bicrit_incremental_approx(problem, K=3)
+        assert shrunk.feasible
+        assert shrunk.energy >= exact_relax.energy - 1e-9
+        assert shrunk.metadata["K"] == 3
+        with pytest.raises(ValueError):
+            solve_bicrit_incremental_approx(problem, K=0)
+
+    def test_k_fallback_when_shrunk_deadline_infeasible(self):
+        # Slack 1.05: shrinking by K/(K+1) = 1/2 makes it infeasible, the
+        # solver must fall back to the original deadline.
+        problem = incremental_problem([1.0, 1.0], 1.05)
+        result = solve_bicrit_incremental_approx(problem, K=1)
+        assert result.feasible
+
+    def test_infeasible_instance(self):
+        problem = incremental_problem([4.0, 4.0], 0.9)
+        assert solve_bicrit_incremental_approx(problem).status == "infeasible"
+
+    def test_works_on_mapped_dag(self):
+        graph = generators.random_layered_dag(3, 2, seed=8)
+        platform = Platform(2, IncrementalSpeeds(0.25, 1.0, 0.25))
+        schedule = critical_path_mapping(graph, 2, fmax=1.0)
+        problem = BiCritProblem(schedule.mapping, platform, 1.7 * schedule.makespan)
+        result = solve_bicrit_incremental_approx(problem)
+        assert result.feasible
+        assert result.require_schedule().is_feasible(problem.deadline, deadline_tol=1e-6)
+
+    def test_arbitrary_discrete_sets_accepted_as_heuristic(self):
+        graph = generators.chain([1.0, 1.0])
+        platform = Platform(1, DiscreteSpeeds([0.3, 0.45, 1.0]))
+        problem = BiCritProblem(Mapping.single_processor(graph), platform, 4.0)
+        result = solve_bicrit_incremental_approx(problem)
+        assert result.feasible
+
+    def test_requires_discrete_model(self):
+        graph = generators.chain([1.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = BiCritProblem(Mapping.single_processor(graph), platform, 4.0)
+        with pytest.raises(TypeError):
+            solve_bicrit_incremental_approx(problem)
+
+    @given(st.floats(min_value=0.05, max_value=0.4),
+           st.floats(min_value=1.2, max_value=3.0),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_ratio_within_bound_property(self, delta, slack, seed):
+        weights = list(generators.random_weights(4, seed=seed, low=1.0, high=4.0))
+        problem = incremental_problem(weights, slack, fmin=0.25, fmax=1.0, delta=delta)
+        result = solve_bicrit_incremental_approx(problem)
+        continuous = solve_bicrit_continuous(BiCritProblem(
+            problem.mapping, problem.platform.continuous_twin(), problem.deadline))
+        bound = approximation_bound(problem.platform.speed_model)
+        assert result.energy <= bound * continuous.energy * (1 + 1e-6)

@@ -1,0 +1,168 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a full pipeline -- generate a workload, map it, solve the
+energy problem under some speed model, validate/simulate the resulting
+schedule -- and checks the cross-model orderings the paper's theory predicts:
+
+    continuous optimum <= VDD-HOPPING optimum <= DISCRETE optimum
+    BI-CRIT optimum   <= TRI-CRIT optimum (reliability costs energy)
+    global optimum    <= local-reclaiming baseline <= no-DVFS baseline
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import local_slack_reclaiming, no_dvfs, uniform_slowdown
+from repro.continuous import (
+    best_of_heuristics,
+    solve_bicrit_continuous,
+    solve_tricrit_exhaustive,
+)
+from repro.core import (
+    BiCritProblem,
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    ReliabilityModel,
+    TriCritProblem,
+    VddHoppingSpeeds,
+)
+from repro.dag import generators
+from repro.discrete import (
+    solve_bicrit_discrete_milp,
+    solve_bicrit_incremental_approx,
+    solve_bicrit_vdd_lp,
+)
+from repro.platform import Mapping, Platform, critical_path_mapping
+from repro.simulation import run_monte_carlo, simulate_schedule
+
+MODES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def build_problems(graph, p, slack, *, lambda0=1e-4):
+    """BiCrit problems under the three speed models plus a TriCrit variant."""
+    reliability = ReliabilityModel(fmin=MODES[0], fmax=MODES[-1], lambda0=lambda0)
+    mapping = (Mapping.single_processor(graph) if p == 1
+               else critical_path_mapping(graph, p, fmax=1.0).mapping)
+    augmented = mapping.augmented_graph()
+    finish = {}
+    for t in augmented.topological_order():
+        s = max((finish[q] for q in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t)
+    deadline = slack * max(finish.values())
+
+    def platform(speed_model):
+        return Platform(p, speed_model, reliability_model=reliability)
+
+    continuous = BiCritProblem(mapping, platform(ContinuousSpeeds(MODES[0], MODES[-1])),
+                               deadline)
+    vdd = BiCritProblem(mapping, platform(VddHoppingSpeeds(MODES)), deadline)
+    discrete = BiCritProblem(mapping, platform(DiscreteSpeeds(MODES)), deadline)
+    tricrit = TriCritProblem(mapping, platform(ContinuousSpeeds(MODES[0], MODES[-1])),
+                             deadline)
+    return continuous, vdd, discrete, tricrit
+
+
+class TestSpeedModelHierarchy:
+    @pytest.mark.parametrize("maker,p", [
+        (lambda seed: generators.random_chain(5, seed=seed), 1),
+        (lambda seed: generators.random_fork(4, seed=seed), 5),
+        (lambda seed: generators.random_layered_dag(3, 3, seed=seed), 3),
+    ])
+    def test_continuous_le_vdd_le_discrete(self, maker, p):
+        graph = maker(17)
+        continuous, vdd, discrete, _ = build_problems(graph, p, slack=1.7)
+        e_cont = solve_bicrit_continuous(continuous).energy
+        e_vdd = solve_bicrit_vdd_lp(vdd).energy
+        e_disc = solve_bicrit_discrete_milp(discrete).energy
+        assert e_cont <= e_vdd * (1 + 1e-6)
+        assert e_vdd <= e_disc * (1 + 1e-6)
+
+    def test_incremental_approx_between_continuous_and_bound(self):
+        graph = generators.random_chain(6, seed=21)
+        continuous, _, discrete, _ = build_problems(graph, 1, slack=1.9)
+        from repro.core.speeds import IncrementalSpeeds
+
+        inc_problem = BiCritProblem(
+            discrete.mapping,
+            discrete.platform.with_speed_model(IncrementalSpeeds(0.2, 1.0, 0.2)),
+            discrete.deadline)
+        e_cont = solve_bicrit_continuous(continuous).energy
+        approx = solve_bicrit_incremental_approx(inc_problem)
+        assert e_cont - 1e-9 <= approx.energy <= 4.0 * e_cont + 1e-9  # (1+delta/fmin)^2 = 4
+
+    def test_bicrit_le_tricrit(self):
+        graph = generators.random_layered_dag(3, 2, seed=23)
+        continuous, _, _, tricrit = build_problems(graph, 2, slack=2.2)
+        e_bicrit = solve_bicrit_continuous(continuous).energy
+        e_tricrit = best_of_heuristics(tricrit).energy
+        assert e_bicrit <= e_tricrit + 1e-9
+
+
+class TestBaselineOrdering:
+    def test_global_le_local_le_nodvfs(self):
+        graph = generators.random_layered_dag(4, 3, seed=29)
+        continuous, _, _, _ = build_problems(graph, 3, slack=1.8)
+        e_opt = solve_bicrit_continuous(continuous).energy
+        e_local = local_slack_reclaiming(continuous).energy
+        e_uniform = uniform_slowdown(continuous).energy
+        e_max = no_dvfs(continuous).energy
+        assert e_opt <= e_local + 1e-6
+        assert e_opt <= e_uniform + 1e-6
+        assert e_local <= e_max + 1e-9
+        assert e_uniform <= e_max + 1e-9
+
+
+class TestSolveSimulateRoundtrip:
+    def test_tricrit_schedule_survives_simulation(self):
+        graph = generators.random_chain(5, seed=31)
+        _, _, _, tricrit = build_problems(graph, 1, slack=2.5, lambda0=1e-3)
+        result = solve_tricrit_exhaustive(tricrit)
+        schedule = result.require_schedule()
+        assert tricrit.evaluate(schedule).feasible
+        # A fault-free worst-case run (no early skip of the second execution)
+        # reproduces the analytic makespan; the normal runtime behaviour can
+        # only finish earlier and spend less energy.
+        worst_case = simulate_schedule(schedule,
+                                       skip_second_execution_on_success=False)
+        assert worst_case.makespan == pytest.approx(schedule.makespan())
+        no_fault = simulate_schedule(schedule)
+        assert no_fault.makespan <= schedule.makespan() + 1e-9
+        assert no_fault.energy <= schedule.energy() + 1e-9
+        # Monte-Carlo reliability matches the analytic product within noise.
+        mc = run_monte_carlo(schedule, trials=1500, seed=5)
+        assert mc.within_confidence()
+        # The reliability is at least the per-task threshold product.
+        model = tricrit.reliability()
+        threshold_product = 1.0
+        for t in graph.tasks():
+            threshold_product *= model.threshold(graph.weight(t))
+        assert mc.analytic_reliability >= threshold_product - 1e-9
+
+    def test_vdd_schedule_simulation(self):
+        graph = generators.random_fork(4, seed=37)
+        _, vdd, _, _ = build_problems(graph, 5, slack=1.8)
+        result = solve_bicrit_vdd_lp(vdd)
+        schedule = result.require_schedule()
+        sim = simulate_schedule(schedule)
+        assert sim.success
+        assert sim.makespan <= vdd.deadline * (1 + 1e-6)
+        assert sim.energy == pytest.approx(schedule.energy(), rel=1e-9)
+
+
+class TestEndToEndProperty:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=1.2, max_value=3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_random_chain_pipeline(self, seed, slack):
+        graph = generators.random_chain(5, seed=seed)
+        continuous, vdd, discrete, _ = build_problems(graph, 1, slack=slack)
+        e_cont = solve_bicrit_continuous(continuous).energy
+        vdd_result = solve_bicrit_vdd_lp(vdd)
+        e_disc = solve_bicrit_discrete_milp(discrete).energy
+        assert e_cont <= vdd_result.energy * (1 + 1e-6)
+        assert vdd_result.energy <= e_disc * (1 + 1e-6)
+        schedule = vdd_result.require_schedule()
+        assert schedule.is_feasible(vdd.deadline, deadline_tol=1e-5)

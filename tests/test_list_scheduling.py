@@ -1,0 +1,111 @@
+"""Tests of the list-scheduling mapping heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import generators
+from repro.dag.analysis import makespan_lower_bound
+from repro.platform.list_scheduling import (
+    MAPPING_HEURISTICS,
+    critical_path_mapping,
+    largest_first_mapping,
+    list_schedule,
+    min_loaded_mapping,
+    random_mapping,
+    round_robin_mapping,
+    topological_mapping,
+)
+
+
+@pytest.fixture
+def layered():
+    return generators.random_layered_dag(4, 4, seed=9)
+
+
+class TestListSchedule:
+    def test_single_processor_makespan_equals_total_work(self, layered):
+        result = list_schedule(layered, 1, fmax=1.0)
+        assert result.makespan == pytest.approx(layered.total_weight())
+
+    def test_respects_precedence(self, layered):
+        result = list_schedule(layered, 3, fmax=1.0)
+        for u, v in layered.edges():
+            assert result.start_times[v] >= result.finish_times[u] - 1e-9
+
+    def test_no_processor_overlap(self, layered):
+        result = list_schedule(layered, 3, fmax=1.0)
+        for proc in range(3):
+            tasks = result.mapping.tasks_on(proc)
+            for a, b in zip(tasks[:-1], tasks[1:]):
+                assert result.start_times[b] >= result.finish_times[a] - 1e-9
+
+    def test_makespan_at_least_lower_bound(self, layered):
+        for p in (1, 2, 4):
+            result = list_schedule(layered, p, fmax=1.0)
+            assert result.makespan >= makespan_lower_bound(layered, p, 1.0) - 1e-9
+
+    def test_speed_scales_durations(self, layered):
+        slow = list_schedule(layered, 2, fmax=0.5)
+        fast = list_schedule(layered, 2, fmax=1.0)
+        assert slow.makespan == pytest.approx(2.0 * fast.makespan)
+
+    def test_every_task_mapped_exactly_once(self, layered):
+        result = list_schedule(layered, 3)
+        mapped = [t for k in range(3) for t in result.mapping.tasks_on(k)]
+        assert sorted(map(str, mapped)) == sorted(map(str, layered.tasks()))
+
+    def test_invalid_arguments(self, layered):
+        with pytest.raises(ValueError):
+            list_schedule(layered, 0)
+        with pytest.raises(ValueError):
+            list_schedule(layered, 2, fmax=0.0)
+        with pytest.raises(ValueError):
+            list_schedule(layered, 2, placement="bogus")
+
+    def test_utilisation_between_zero_and_one(self, layered):
+        result = list_schedule(layered, 3)
+        for u in result.processor_utilisation():
+            assert 0.0 <= u <= 1.0 + 1e-9
+
+
+class TestNamedHeuristics:
+    @pytest.mark.parametrize("name", sorted(MAPPING_HEURISTICS))
+    def test_every_heuristic_produces_valid_mapping(self, layered, name):
+        result = MAPPING_HEURISTICS[name](layered, 3)
+        assert result.mapping.num_processors == 3
+        assert result.makespan > 0
+        # The mapping's augmented graph must be a DAG (validated on build).
+        assert result.mapping.augmented_graph().num_tasks == layered.num_tasks
+
+    def test_critical_path_beats_random_on_average(self):
+        wins = 0
+        trials = 6
+        for seed in range(trials):
+            g = generators.random_layered_dag(5, 4, seed=seed)
+            cp = critical_path_mapping(g, 3).makespan
+            rnd = random_mapping(g, 3, seed=seed).makespan
+            if cp <= rnd + 1e-9:
+                wins += 1
+        assert wins >= trials - 1
+
+    def test_round_robin_balances_task_counts(self, layered):
+        result = round_robin_mapping(layered, 4)
+        counts = [len(result.mapping.tasks_on(k)) for k in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_fork_on_many_processors_runs_children_in_parallel(self):
+        g = generators.fork(1.0, [1.0, 1.0, 1.0, 1.0])
+        result = critical_path_mapping(g, 5)
+        # All children can start right after the source.
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_chain_cannot_be_parallelised(self):
+        g = generators.chain([1.0, 2.0, 3.0])
+        result = critical_path_mapping(g, 4)
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_min_loaded_and_largest_first_run(self, layered):
+        assert min_loaded_mapping(layered, 2).makespan > 0
+        assert largest_first_mapping(layered, 2).makespan > 0
+        assert topological_mapping(layered, 2).makespan > 0

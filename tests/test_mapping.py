@@ -1,0 +1,110 @@
+"""Tests of task-to-processor mappings and the augmented graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import generators
+from repro.dag.taskgraph import TaskGraph
+from repro.platform.mapping import InvalidMappingError, Mapping
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    return TaskGraph(
+        {"s": 1.0, "l": 2.0, "r": 3.0, "t": 1.0},
+        [("s", "l"), ("s", "r"), ("l", "t"), ("r", "t")],
+    )
+
+
+class TestConstruction:
+    def test_single_processor(self, diamond):
+        m = Mapping.single_processor(diamond)
+        assert m.num_processors == 1
+        assert set(m.tasks_on(0)) == set(diamond.tasks())
+        assert m.is_single_processor()
+
+    def test_one_task_per_processor(self, diamond):
+        m = Mapping.one_task_per_processor(diamond)
+        assert m.num_processors == 4
+        assert all(len(m.tasks_on(k)) == 1 for k in range(4))
+        assert not m.is_single_processor()
+
+    def test_from_processor_of(self, diamond):
+        m = Mapping.from_processor_of(diamond, {"s": 0, "l": 0, "r": 1, "t": 0})
+        assert m.processor_of("r") == 1
+        assert m.tasks_on(0) == ("s", "l", "t")
+
+    def test_missing_task_rejected(self, diamond):
+        with pytest.raises(InvalidMappingError, match="not mapped"):
+            Mapping([["s", "l", "r"]], diamond)
+
+    def test_duplicate_task_rejected(self, diamond):
+        with pytest.raises(InvalidMappingError, match="twice"):
+            Mapping([["s", "l", "r", "t"], ["s"]], diamond)
+
+    def test_unknown_task_rejected(self, diamond):
+        with pytest.raises(InvalidMappingError, match="not in the graph"):
+            Mapping([["s", "l", "r", "t", "zzz"]], diamond)
+
+    def test_order_conflicting_with_precedence_rejected(self, diamond):
+        # Putting t before s on the same processor creates a cycle.
+        with pytest.raises(InvalidMappingError, match="conflict"):
+            Mapping([["t", "s", "l", "r"]], diamond)
+
+    def test_from_processor_of_validation(self, diamond):
+        with pytest.raises(InvalidMappingError):
+            Mapping.from_processor_of(diamond, {"s": 0, "l": 0, "r": 5, "t": 0},
+                                      num_processors=2)
+        with pytest.raises(InvalidMappingError):
+            Mapping.from_processor_of(diamond, {"s": 0})
+
+
+class TestDerivedStructures:
+    def test_augmented_graph_adds_processor_edges(self, diamond):
+        m = Mapping([["s", "l", "t"], ["r"]], diamond)
+        augmented = m.augmented_graph()
+        assert set(diamond.edges()) <= set(augmented.edges())
+        assert ("l", "t") in augmented.edges()
+        # l and t are consecutive on processor 0, s->l already a precedence edge.
+        assert augmented.num_edges == diamond.num_edges  # no *new* edges here
+
+    def test_augmented_graph_with_new_edges(self):
+        g = TaskGraph({"a": 1.0, "b": 2.0, "c": 3.0})  # independent tasks
+        m = Mapping([["a", "b"], ["c"]], g)
+        augmented = m.augmented_graph()
+        assert ("a", "b") in augmented.edges()
+        assert augmented.num_edges == 1
+
+    def test_processor_loads(self, diamond):
+        m = Mapping([["s", "l", "t"], ["r"]], diamond)
+        assert m.processor_loads() == [pytest.approx(4.0), pytest.approx(3.0)]
+
+    def test_predecessor_on_processor(self, diamond):
+        m = Mapping([["s", "l", "t"], ["r"]], diamond)
+        assert m.predecessor_on_processor("s") is None
+        assert m.predecessor_on_processor("t") == "l"
+        assert m.predecessor_on_processor("r") is None
+
+    def test_positions(self, diamond):
+        m = Mapping([["s", "l", "t"], ["r"]], diamond)
+        assert m.position_of("t") == 2
+        assert m.processor_of("t") == 0
+
+    def test_as_lists_copies(self, diamond):
+        m = Mapping.single_processor(diamond)
+        lists = m.as_lists()
+        lists[0].append("junk")
+        assert "junk" not in m.tasks_on(0)
+
+    def test_equality(self, diamond):
+        m1 = Mapping([["s", "l", "t"], ["r"]], diamond)
+        m2 = Mapping([["s", "l", "t"], ["r"]], diamond)
+        m3 = Mapping([["s", "r", "t"], ["l"]], diamond)
+        assert m1 == m2
+        assert m1 != m3
+
+    def test_empty_processors_allowed(self, diamond):
+        m = Mapping([list(diamond.topological_order()), []], diamond)
+        assert m.num_processors == 2
+        assert m.is_single_processor()

@@ -1,0 +1,192 @@
+"""Tests of the optimisation substrate: bisection, allocation, projected gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize.allocation import (
+    allocate_durations,
+    allocate_durations_with_bounds,
+    equal_speed_durations,
+)
+from repro.optimize.bisection import (
+    bisect_root,
+    expand_bracket,
+    solve_monotone_increasing,
+)
+from repro.optimize.projected_gradient import (
+    minimize_projected_gradient,
+    project_box_budget,
+)
+
+
+class TestBisection:
+    def test_root_of_polynomial(self):
+        root = bisect_root(lambda x: x ** 3 - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(2.0 ** (1.0 / 3.0), rel=1e-9)
+
+    def test_endpoints_as_roots(self):
+        assert bisect_root(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect_root(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x + 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x, 1.0, 0.0)
+
+    def test_expand_bracket(self):
+        lo, hi = expand_bracket(lambda x: x - 10.0, 1.0)
+        assert lo == 1.0 and hi >= 10.0
+
+    def test_solve_monotone_increasing(self):
+        assert solve_monotone_increasing(lambda x: x ** 2, 4.0, 0.0, 10.0) == pytest.approx(2.0)
+
+    def test_solve_monotone_saturates_at_bounds(self):
+        assert solve_monotone_increasing(lambda x: x, -5.0, 0.0, 1.0) == 0.0
+        assert solve_monotone_increasing(lambda x: x, 5.0, 0.0, 1.0) == 1.0
+
+
+class TestAllocation:
+    def test_unbounded_gives_equal_speed(self):
+        weights = [1.0, 2.0, 3.0]
+        result = allocate_durations(weights, 12.0)
+        np.testing.assert_allclose(result.durations, [2.0, 4.0, 6.0])
+        np.testing.assert_allclose(result.speeds, [0.5, 0.5, 0.5])
+        # Energy = sum w * f^2 = 6 * 0.25.
+        assert result.energy == pytest.approx(1.5)
+
+    def test_equal_speed_helper(self):
+        np.testing.assert_allclose(equal_speed_durations([1.0, 3.0], 8.0), [2.0, 6.0])
+        np.testing.assert_allclose(equal_speed_durations([0.0, 0.0], 8.0), [0.0, 0.0])
+
+    def test_fmax_saturation(self):
+        # Deadline so tight that the required uniform speed exceeds fmax for
+        # no task individually but the bound still binds overall.
+        result = allocate_durations([4.0, 4.0], 8.0, fmax=1.0)
+        np.testing.assert_allclose(result.durations, [4.0, 4.0])
+        assert result.saturated_lower.all()
+
+    def test_fmin_saturation_when_deadline_loose(self):
+        result = allocate_durations([1.0, 1.0], 100.0, fmin=0.5, fmax=1.0)
+        np.testing.assert_allclose(result.speeds, [0.5, 0.5])
+        assert result.total_time < 100.0
+        assert result.saturated_upper.all()
+
+    def test_infeasible_deadline_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            allocate_durations([10.0, 10.0], 5.0, fmax=1.0)
+
+    def test_zero_weights(self):
+        result = allocate_durations([0.0, 2.0], 4.0)
+        assert result.durations[0] == 0.0
+        assert result.durations[1] == pytest.approx(4.0)
+
+    def test_all_zero_weights(self):
+        result = allocate_durations([0.0, 0.0], 4.0)
+        assert result.energy == 0.0
+        assert result.total_time == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_durations([1.0], 0.0)
+        with pytest.raises(ValueError):
+            allocate_durations([-1.0], 2.0)
+        with pytest.raises(ValueError):
+            allocate_durations([1.0], 2.0, exponent=1.0)
+        with pytest.raises(ValueError):
+            allocate_durations([1.0], 2.0, fmin=2.0, fmax=1.0)
+
+    def test_per_task_bounds(self):
+        weights = np.array([2.0, 2.0])
+        lower = np.array([0.5, 2.0])   # second task forced to run fast at most 1.0
+        upper = np.array([4.0, 2.0])   # and exactly duration 2
+        result = allocate_durations_with_bounds(weights, 6.0, lower, upper)
+        assert result.durations[1] == pytest.approx(2.0)
+        assert 0.5 <= result.durations[0] <= 4.0
+
+    def test_partial_clamping_with_heterogeneous_bounds(self):
+        # Task 0 may not run faster than 1.0 (duration >= 4) while task 1 may
+        # run up to speed 2.0; the optimum pins task 0 at its bound and gives
+        # the remaining time to task 1.
+        weights = np.array([4.0, 4.0])
+        lower = np.array([4.0, 2.0])
+        upper = np.array([40.0, 40.0])
+        result = allocate_durations_with_bounds(weights, 7.0, lower, upper)
+        assert result.durations[0] == pytest.approx(4.0)
+        assert result.durations[1] == pytest.approx(3.0)
+        assert result.saturated_lower[0]
+        assert not result.saturated_lower[1]
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=6),
+           st.floats(min_value=1.2, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_allocation_optimality_property(self, weights, slack):
+        """The allocation never uses more than the deadline, meets the bounds,
+        and has energy no larger than the uniform-speed feasible schedule."""
+        weights = np.asarray(weights)
+        deadline = slack * float(np.sum(weights))  # uniform speed 1/slack < 1 = fmax
+        result = allocate_durations(weights, deadline, fmin=0.05, fmax=1.0)
+        assert result.total_time <= deadline * (1 + 1e-9)
+        speeds = result.speeds
+        positive = weights > 0
+        assert np.all(speeds[positive] <= 1.0 + 1e-9)
+        assert np.all(speeds[positive] >= 0.05 - 1e-9)
+        uniform_speed = max(float(np.sum(weights)) / deadline, 0.05)
+        uniform_energy = float(np.sum(weights * uniform_speed ** 2))
+        assert result.energy <= uniform_energy + 1e-6 * max(1.0, uniform_energy)
+
+
+class TestProjectedGradient:
+    def test_box_projection(self):
+        x = np.array([2.0, -1.0, 0.5])
+        lower, upper = np.zeros(3), np.ones(3)
+        np.testing.assert_allclose(project_box_budget(x, lower, upper), [1.0, 0.0, 0.5])
+
+    def test_budget_projection(self):
+        x = np.array([1.0, 1.0, 1.0])
+        lower, upper = np.zeros(3), np.ones(3)
+        projected = project_box_budget(x, lower, upper, budget=1.5)
+        assert np.sum(projected) == pytest.approx(1.5, abs=1e-6)
+        assert np.all(projected >= -1e-12)
+
+    def test_budget_below_lower_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            project_box_budget(np.ones(2), np.ones(2), 2 * np.ones(2), budget=1.0)
+
+    def test_quadratic_minimisation(self):
+        target = np.array([0.3, 0.7, -0.2])
+        lower = np.zeros(3)
+        upper = np.ones(3)
+        result = minimize_projected_gradient(
+            lambda x: float(np.sum((x - target) ** 2)),
+            lambda x: 2.0 * (x - target),
+            np.full(3, 0.5), lower, upper,
+        )
+        expected = np.clip(target, 0.0, 1.0)
+        np.testing.assert_allclose(result.x, expected, atol=1e-5)
+        assert result.converged
+
+    def test_energy_like_objective_with_budget(self):
+        # min sum w^3/d^2 s.t. sum d <= D, d in [lo, hi]: compare with the
+        # water-filling allocator.
+        weights = np.array([1.0, 2.0, 4.0])
+        deadline = 10.0
+        lower = weights / 1.0
+        upper = weights / 0.1
+        reference = allocate_durations_with_bounds(weights, deadline, lower, upper)
+
+        def objective(d):
+            return float(np.sum(weights ** 3 / d ** 2))
+
+        def gradient(d):
+            return -2.0 * weights ** 3 / d ** 3
+
+        result = minimize_projected_gradient(objective, gradient,
+                                             np.clip(weights, lower, upper),
+                                             lower, upper, budget=deadline,
+                                             max_iter=5000, tol=1e-10)
+        assert result.objective == pytest.approx(reference.energy, rel=1e-4)

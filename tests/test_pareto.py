@@ -1,0 +1,83 @@
+"""Tests of the energy/deadline/reliability trade-off curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speeds import ContinuousSpeeds, VddHoppingSpeeds
+from repro.dag import generators
+from repro.discrete.vdd_lp import solve_bicrit_vdd_lp
+from repro.experiments.pareto import (
+    ParetoPoint,
+    energy_deadline_curve,
+    energy_reliability_curve,
+    pareto_filter,
+)
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+class TestParetoFilter:
+    def test_removes_dominated_and_infeasible_points(self):
+        points = [
+            ParetoPoint(1.0, 10.0),
+            ParetoPoint(2.0, 12.0),            # dominated (longer and costlier)
+            ParetoPoint(2.0, 6.0),
+            ParetoPoint(3.0, 6.0),             # dominated (same energy, longer)
+            ParetoPoint(4.0, 1.0, feasible=False),
+            ParetoPoint(5.0, 2.0),
+        ]
+        kept = pareto_filter(points)
+        assert [(p.deadline, p.energy) for p in kept] == [(1.0, 10.0), (2.0, 6.0), (5.0, 2.0)]
+
+
+class TestEnergyDeadlineCurve:
+    def test_energy_decreases_with_deadline_and_follows_inverse_square(self):
+        graph = generators.chain([2.0, 3.0, 1.0])
+        platform = Platform(1, ContinuousSpeeds(0.01, 1.0))
+        mapping = Mapping.single_processor(graph)
+        slacks = (1.0, 1.5, 2.0, 3.0)
+        points = energy_deadline_curve(mapping, platform, slacks=slacks)
+        assert len(points) == len(slacks)
+        energies = [p.energy for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(energies[:-1], energies[1:]))
+        # Before the fmin bound binds, E(D) = W^3/D^2, so E * D^2 is constant.
+        products = [p.energy * p.deadline ** 2 for p in points]
+        assert products[0] == pytest.approx(products[1], rel=1e-6)
+        assert products[1] == pytest.approx(products[2], rel=1e-6)
+
+    def test_custom_solver_traces_vdd_curve_above_continuous(self):
+        graph = generators.random_chain(4, seed=3)
+        mapping = Mapping.single_processor(graph)
+        continuous_platform = Platform(1, ContinuousSpeeds(0.2, 1.0))
+        vdd_platform = Platform(1, VddHoppingSpeeds([0.2, 0.6, 1.0]))
+        slacks = (1.2, 1.8, 2.5)
+        continuous = energy_deadline_curve(mapping, continuous_platform, slacks=slacks)
+        vdd = energy_deadline_curve(mapping, vdd_platform, slacks=slacks,
+                                    solver=solve_bicrit_vdd_lp)
+        for c, v in zip(continuous, vdd):
+            assert v.energy >= c.energy - 1e-9
+
+    def test_infeasible_slack_below_one_is_flagged(self):
+        graph = generators.chain([4.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        mapping = Mapping.single_processor(graph)
+        points = energy_deadline_curve(mapping, platform, slacks=(0.5, 1.0))
+        assert not points[0].feasible
+        assert points[1].feasible
+
+
+class TestEnergyReliabilityCurve:
+    def test_energy_increases_with_stricter_threshold(self):
+        graph = generators.random_chain(4, seed=11)
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        mapping = Mapping.single_processor(graph)
+        deadline = 2.5 * graph.total_weight()
+        points = energy_reliability_curve(mapping, platform, deadline,
+                                          frel_values=(0.4, 0.7, 1.0))
+        assert all(p.feasible for p in points)
+        energies = [p.energy for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(energies[:-1], energies[1:]))
+        # At the strictest threshold re-execution is the only way to slow
+        # down, so the solver uses it (the deadline slack is generous).
+        assert points[-1].num_reexecuted >= 1

@@ -1,0 +1,54 @@
+"""Tests of the Platform bundle (processors + speed/energy/reliability models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.energy import EnergyModel
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds, DiscreteSpeeds, VddHoppingSpeeds
+from repro.platform.platform import Platform
+
+
+class TestPlatform:
+    def test_defaults(self):
+        p = Platform(4)
+        assert p.num_processors == 4
+        assert isinstance(p.speed_model, ContinuousSpeeds)
+        assert p.fmin == pytest.approx(0.1)
+        assert p.fmax == pytest.approx(1.0)
+        assert p.energy_model.exponent == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Platform(0)
+
+    def test_reliability_default_built_lazily(self):
+        p = Platform(2, ContinuousSpeeds(0.2, 2.0))
+        model = p.reliability()
+        assert isinstance(model, ReliabilityModel)
+        assert model.fmin == pytest.approx(0.2)
+        assert model.fmax == pytest.approx(2.0)
+
+    def test_explicit_reliability_model_returned(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3)
+        p = Platform(2, reliability_model=model)
+        assert p.reliability() is model
+
+    def test_with_speed_model_preserves_other_fields(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0)
+        energy = EnergyModel(exponent=2.5)
+        p = Platform(3, ContinuousSpeeds(0.1, 1.0), energy, model)
+        q = p.with_speed_model(DiscreteSpeeds([0.5, 1.0]))
+        assert q.num_processors == 3
+        assert q.energy_model is energy
+        assert q.reliability_model is model
+        assert isinstance(q.speed_model, DiscreteSpeeds)
+
+    def test_continuous_twin(self):
+        p = Platform(2, VddHoppingSpeeds([0.2, 0.6, 1.0]))
+        twin = p.continuous_twin()
+        assert isinstance(twin.speed_model, ContinuousSpeeds)
+        assert twin.fmin == pytest.approx(0.2)
+        assert twin.fmax == pytest.approx(1.0)
+        assert twin.num_processors == 2

@@ -1,0 +1,131 @@
+"""Tests of the BI-CRIT and TRI-CRIT problem definitions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.problems import (
+    BiCritProblem,
+    InfeasibleProblemError,
+    SolveResult,
+    TriCritProblem,
+)
+from repro.core.reliability import ReliabilityModel
+from repro.core.schedule import Schedule
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+@pytest.fixture
+def chain_problem() -> BiCritProblem:
+    graph = generators.chain([2.0, 2.0, 4.0])
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+    return BiCritProblem(Mapping.single_processor(graph), platform, deadline=12.0)
+
+
+class TestBiCritProblem:
+    def test_validation(self, chain_problem):
+        with pytest.raises(ValueError):
+            BiCritProblem(chain_problem.mapping, chain_problem.platform, deadline=0.0)
+
+    def test_mapping_must_fit_platform(self):
+        graph = generators.fork(1.0, [1.0, 1.0])
+        platform = Platform(2, ContinuousSpeeds(0.1, 1.0))
+        mapping = Mapping.one_task_per_processor(graph)  # needs 3 processors
+        with pytest.raises(ValueError):
+            BiCritProblem(mapping, platform, deadline=5.0)
+
+    def test_min_makespan_and_feasibility(self, chain_problem):
+        assert chain_problem.min_makespan() == pytest.approx(8.0)
+        assert chain_problem.is_feasible_instance()
+        chain_problem.validate()
+
+    def test_infeasible_instance(self):
+        graph = generators.chain([10.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+        problem = BiCritProblem(Mapping.single_processor(graph), platform, deadline=5.0)
+        assert not problem.is_feasible_instance()
+        with pytest.raises(InfeasibleProblemError):
+            problem.validate()
+
+    def test_energy_bounds_ordering(self, chain_problem):
+        lower = chain_problem.energy_lower_bound()
+        upper = chain_problem.energy_upper_bound()
+        assert 0 < lower <= upper
+        # The upper bound is the everything-at-fmax schedule.
+        assert upper == pytest.approx(8.0)
+
+    def test_evaluate_feasible_schedule(self, chain_problem):
+        schedule = Schedule.uniform_speed(chain_problem.mapping, chain_problem.platform,
+                                          8.0 / 12.0)
+        report = chain_problem.evaluate(schedule)
+        assert report.feasible
+        assert report.makespan == pytest.approx(12.0)
+        assert report.deadline_slack == pytest.approx(0.0)
+
+    def test_evaluate_infeasible_schedule(self, chain_problem):
+        schedule = Schedule.uniform_speed(chain_problem.mapping, chain_problem.platform, 0.5)
+        report = chain_problem.evaluate(schedule)
+        assert not report.feasible
+        assert any(v.kind == "deadline" for v in report.violations)
+
+    def test_accessors(self, chain_problem):
+        assert chain_problem.fmin == pytest.approx(0.1)
+        assert chain_problem.fmax == pytest.approx(1.0)
+        assert chain_problem.graph.num_tasks == 3
+
+
+class TestTriCritProblem:
+    @pytest.fixture
+    def tricrit(self) -> TriCritProblem:
+        graph = generators.chain([2.0, 2.0, 4.0])
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3)
+        platform = Platform(1, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+        return TriCritProblem(Mapping.single_processor(graph), platform, deadline=16.0)
+
+    def test_reliability_model_defaults_to_platform(self, tricrit):
+        assert tricrit.reliability() is tricrit.platform.reliability_model
+
+    def test_reliability_model_override(self, tricrit):
+        custom = ReliabilityModel(fmin=0.1, fmax=1.0, frel=0.5)
+        problem = TriCritProblem(tricrit.mapping, tricrit.platform, tricrit.deadline,
+                                 reliability_model=custom)
+        assert problem.reliability().frel == pytest.approx(0.5)
+
+    def test_evaluate_checks_reliability(self, tricrit):
+        slow = Schedule.uniform_speed(tricrit.mapping, tricrit.platform, 0.5)
+        report = tricrit.evaluate(slow)
+        assert not report.feasible
+        assert any(v.kind == "reliability" for v in report.violations)
+        assert report.min_reliability_margin < 0
+
+    def test_evaluate_reliable_schedule(self, tricrit):
+        fast = Schedule.uniform_speed(tricrit.mapping, tricrit.platform, 1.0)
+        report = tricrit.evaluate(fast)
+        assert report.feasible
+        assert report.min_reliability_margin >= 0
+
+    def test_min_makespan_with_reliability(self, tricrit):
+        # frel defaults to fmax so the reliable makespan equals the fmax one.
+        assert tricrit.min_makespan_with_reliability() == pytest.approx(8.0)
+
+    def test_validate(self, tricrit):
+        tricrit.validate()
+
+
+class TestSolveResult:
+    def test_require_schedule_raises_when_missing(self):
+        result = SolveResult(schedule=None, energy=math.inf, status="infeasible",
+                             solver="test")
+        assert not result.feasible
+        with pytest.raises(InfeasibleProblemError):
+            result.require_schedule()
+
+    def test_feasible_statuses(self):
+        assert SolveResult(None, 1.0, "optimal", "t").feasible
+        assert SolveResult(None, 1.0, "feasible", "t").feasible
+        assert not SolveResult(None, 1.0, "error", "t").feasible

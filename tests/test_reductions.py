@@ -1,0 +1,105 @@
+"""Tests of the executable NP-hardness reductions (paper Sections III and IV)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.reductions import (
+    partition_has_solution,
+    partition_to_discrete_bicrit,
+    subset_sum_to_tricrit_chain,
+    verify_partition_reduction,
+)
+from repro.continuous.tricrit_chain import (
+    solve_tricrit_chain_exact,
+    solve_tricrit_chain_greedy,
+)
+from repro.core.speeds import DiscreteSpeeds
+
+
+class TestPartitionOracle:
+    def test_known_instances(self):
+        assert partition_has_solution([1, 1])
+        assert partition_has_solution([3, 1, 1, 2, 2, 1])
+        assert not partition_has_solution([1, 2])
+        assert not partition_has_solution([8, 6, 5, 4])
+        assert not partition_has_solution([1, 1, 1])  # odd total
+
+
+class TestPartitionReduction:
+    def test_construction(self):
+        reduction = partition_to_discrete_bicrit([3, 1, 2, 2])
+        total, half = 8, 4
+        assert reduction.deadline == pytest.approx(total - half / 2)
+        assert reduction.energy_budget == pytest.approx(total + 3 * half)
+        assert reduction.problem.graph.num_tasks == 4
+        speed_model = reduction.problem.platform.speed_model
+        assert isinstance(speed_model, DiscreteSpeeds)
+        assert speed_model.speeds == (1.0, 2.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            partition_to_discrete_bicrit([])
+        with pytest.raises(ValueError):
+            partition_to_discrete_bicrit([1, -2])
+
+    @pytest.mark.parametrize("integers,expected", [
+        ([1, 1], True),
+        ([3, 1, 1, 2, 2, 1], True),
+        ([5, 5, 4, 3, 2, 1], True),
+        ([1, 2], False),
+        ([8, 6, 5, 4], False),
+        ([9, 7, 5, 3, 1], False),
+        ([2, 2, 2, 2], True),
+    ])
+    def test_reduction_answers_partition(self, integers, expected):
+        outcome = verify_partition_reduction(integers, solver="bruteforce")
+        assert outcome["partition_answer"] is expected
+        assert outcome["scheduling_answer"] is expected
+        assert outcome["agree"]
+
+    def test_reduction_with_milp_solver(self):
+        outcome = verify_partition_reduction([3, 1, 1, 2, 2, 1], solver="milp")
+        assert outcome["agree"] and outcome["partition_answer"]
+        with pytest.raises(ValueError):
+            verify_partition_reduction([1, 1], solver="bogus")
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_agreement_property(self, integers):
+        outcome = verify_partition_reduction(integers, solver="bruteforce")
+        assert outcome["agree"]
+
+
+class TestSubsetSumTriCritInstances:
+    def test_construction(self):
+        problem = subset_sum_to_tricrit_chain([2, 3, 5], target=5)
+        assert problem.graph.num_tasks == 3
+        assert problem.graph.is_chain()
+        assert problem.deadline == pytest.approx((10 + 5) / 1.0)
+        assert problem.reliability().frel == pytest.approx(1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            subset_sum_to_tricrit_chain([], target=1)
+        with pytest.raises(ValueError):
+            subset_sum_to_tricrit_chain([1, 2], target=0)
+        with pytest.raises(ValueError):
+            subset_sum_to_tricrit_chain([1, 2], target=10)
+
+    def test_instances_are_solvable_and_use_reexecution(self):
+        problem = subset_sum_to_tricrit_chain([2, 3, 4], target=4)
+        exact = solve_tricrit_chain_exact(problem)
+        assert exact.feasible
+        # The slack of `target` time units makes at least one re-execution
+        # energy-beneficial.
+        assert len(exact.metadata["reexecuted"]) >= 1
+
+    def test_greedy_runs_on_adversarial_instances(self):
+        problem = subset_sum_to_tricrit_chain([2, 3, 4, 5], target=6)
+        exact = solve_tricrit_chain_exact(problem)
+        greedy = solve_tricrit_chain_greedy(problem)
+        assert greedy.feasible
+        assert greedy.energy >= exact.energy - 1e-9

@@ -1,0 +1,137 @@
+"""Tests of the transient-fault reliability model (Section II.b, equation (1))."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reliability import ReliabilityModel
+
+
+@pytest.fixture
+def model() -> ReliabilityModel:
+    return ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4, sensitivity=3.0)
+
+
+class TestFaultRate:
+    def test_rate_at_fmax_is_lambda0(self, model):
+        assert model.fault_rate(1.0) == pytest.approx(1e-4)
+
+    def test_rate_at_fmin_is_scaled_by_exp_d(self, model):
+        assert model.fault_rate(0.1) == pytest.approx(1e-4 * math.exp(3.0))
+
+    def test_rate_decreases_with_speed(self, model):
+        speeds = np.linspace(0.1, 1.0, 20)
+        rates = model.fault_rate(speeds)
+        assert np.all(np.diff(rates) < 0)
+
+    def test_zero_sensitivity_means_constant_rate(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4, sensitivity=0.0)
+        assert model.fault_rate(0.1) == pytest.approx(model.fault_rate(1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel(fmin=0.0, fmax=1.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=-1.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(fmin=0.1, fmax=1.0, sensitivity=-0.5)
+        with pytest.raises(ValueError):
+            ReliabilityModel(fmin=0.1, fmax=1.0, frel=2.0)
+
+
+class TestReliability:
+    def test_equation_one(self, model):
+        # R_i(f) = 1 - lambda0 * exp(d*(fmax-f)/(fmax-fmin)) * w/f.
+        w, f = 5.0, 0.5
+        expected = 1.0 - 1e-4 * math.exp(3.0 * (1.0 - 0.5) / 0.9) * w / f
+        assert model.reliability(w, f) == pytest.approx(expected)
+
+    def test_reliability_increases_with_speed(self, model):
+        w = 3.0
+        speeds = np.linspace(0.1, 1.0, 15)
+        rel = model.reliability(w, speeds)
+        assert np.all(np.diff(rel) > 0)
+
+    def test_default_threshold_is_reliability_at_fmax(self, model):
+        w = 2.0
+        assert model.frel == pytest.approx(1.0)
+        assert model.threshold(w) == pytest.approx(model.reliability(w, 1.0))
+
+    def test_single_execution_needs_at_least_frel(self, model):
+        w = 2.0
+        assert model.single_execution_ok(w, model.frel)
+        assert model.single_execution_ok(w, model.frel + 1e-9)
+        assert not model.single_execution_ok(w, 0.5)
+
+    def test_reexecution_reliability_formula(self, model):
+        w, f1, f2 = 2.0, 0.4, 0.6
+        p1 = model.failure_probability(w, f1)
+        p2 = model.failure_probability(w, f2)
+        assert model.reexecution_reliability(w, f1, f2) == pytest.approx(1.0 - p1 * p2)
+
+    def test_reexecution_can_beat_threshold_at_low_speed(self, model):
+        w = 2.0
+        slow = 0.4
+        assert not model.single_execution_ok(w, slow)
+        assert model.reexecution_ok(w, slow, slow)
+
+    def test_min_equal_reexecution_speed(self, model):
+        w = 3.0
+        f_star = model.min_equal_reexecution_speed(w)
+        assert model.fmin <= f_star <= model.frel
+        # At the returned speed the constraint holds; slightly below it fails
+        # (unless it is already clipped at fmin).
+        assert model.reexecution_ok(w, f_star, f_star, tol=1e-9)
+        if f_star > model.fmin + 1e-9:
+            assert not model.reexecution_ok(w, f_star * 0.98, f_star * 0.98)
+
+    def test_custom_frel_threshold(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-4, frel=0.7)
+        w = 2.0
+        assert model.single_execution_ok(w, 0.7)
+        assert not model.single_execution_ok(w, 0.6)
+
+    def test_zero_lambda_gives_perfect_reliability(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=0.0)
+        assert model.reliability(5.0, 0.1) == pytest.approx(1.0)
+        assert model.min_equal_reexecution_speed(5.0) == pytest.approx(0.1)
+
+    def test_failure_probability_clipped_to_one(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=10.0, sensitivity=5.0)
+        assert model.failure_probability(100.0, 0.1) == pytest.approx(1.0)
+
+    def test_speed_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.failure_probability(1.0, 0.0)
+
+
+class TestReliabilityProperties:
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.11, max_value=0.99))
+    @settings(max_examples=80, deadline=None)
+    def test_reexecution_at_least_as_reliable_as_single(self, weight, speed):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3, sensitivity=4.0)
+        single = model.reliability(weight, speed)
+        double = model.reexecution_reliability(weight, speed, speed)
+        assert double >= single - 1e-12
+
+    @given(st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_min_reexec_speed_below_frel(self, weight):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3, sensitivity=4.0)
+        f_star = model.min_equal_reexecution_speed(weight)
+        assert model.fmin - 1e-12 <= f_star <= model.frel + 1e-12
+        assert model.reexecution_ok(weight, f_star, f_star, tol=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=20.0),
+           st.floats(min_value=0.15, max_value=1.0),
+           st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_heavier_tasks_are_less_reliable(self, weight, speed, factor):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3)
+        assert model.reliability(weight * factor, speed) <= model.reliability(weight, speed) + 1e-12

@@ -1,0 +1,128 @@
+"""Tests of the continuous -> VDD-HOPPING rounding adapter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reliability import ReliabilityModel
+from repro.core.schedule import Execution, Schedule, TaskDecision
+from repro.core.speeds import ContinuousSpeeds, VddHoppingSpeeds
+from repro.dag import generators
+from repro.discrete.rounding import round_execution_to_vdd, round_schedule_to_vdd
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+MODES = VddHoppingSpeeds([0.2, 0.4, 0.6, 0.8, 1.0])
+
+
+class TestRoundExecution:
+    def test_preserves_work_and_time(self):
+        execution = round_execution_to_vdd(3.0, 0.7, MODES)
+        assert execution.work == pytest.approx(3.0)
+        assert execution.duration == pytest.approx(3.0 / 0.7)
+
+    def test_uses_bracketing_modes(self):
+        execution = round_execution_to_vdd(3.0, 0.7, MODES)
+        assert set(execution.speeds) <= {0.6, 0.8}
+
+    def test_exact_mode_gives_single_interval(self):
+        execution = round_execution_to_vdd(3.0, 0.6, MODES)
+        assert execution.is_constant_speed
+        assert execution.speeds[0] == pytest.approx(0.6)
+
+    def test_speed_outside_range_clamped(self):
+        execution = round_execution_to_vdd(3.0, 5.0, MODES)
+        assert execution.speeds == (1.0,)
+        execution = round_execution_to_vdd(3.0, 0.01, MODES)
+        assert execution.speeds == (0.2,)
+
+    def test_zero_weight(self):
+        execution = round_execution_to_vdd(0.0, 0.5, MODES)
+        assert execution.work == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            round_execution_to_vdd(-1.0, 0.5, MODES)
+
+    def test_reliability_matching_shifts_towards_fast_mode(self):
+        model = ReliabilityModel(fmin=0.2, fmax=1.0, lambda0=1e-2, sensitivity=4.0)
+        weight, speed = 3.0, 0.7
+        continuous_failure = model.failure_probability(weight, speed)
+        plain = round_execution_to_vdd(weight, speed, MODES)
+        matched = round_execution_to_vdd(weight, speed, MODES,
+                                         reliability_model=model,
+                                         failure_budget=continuous_failure)
+        assert matched.failure_probability(model) <= continuous_failure + 1e-12
+        # Matching the reliability can only shorten the execution.
+        assert matched.duration <= plain.duration + 1e-12
+        assert matched.work == pytest.approx(weight)
+
+    @given(st.floats(min_value=0.21, max_value=0.99),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_rounding_property(self, speed, weight):
+        model = ReliabilityModel(fmin=0.2, fmax=1.0, lambda0=1e-3, sensitivity=3.0)
+        budget = model.failure_probability(weight, speed)
+        execution = round_execution_to_vdd(weight, speed, MODES,
+                                           reliability_model=model,
+                                           failure_budget=budget)
+        assert execution.work == pytest.approx(weight, rel=1e-6)
+        assert execution.duration <= weight / speed + 1e-9
+        assert execution.failure_probability(model) <= budget + 1e-10
+
+
+class TestRoundSchedule:
+    def _continuous_schedule(self):
+        graph = generators.chain([1.0, 2.0, 3.0])
+        platform = Platform(1, ContinuousSpeeds(0.2, 1.0))
+        mapping = Mapping.single_processor(graph)
+        speeds = {"T0": 0.55, "T1": 0.7, "T2": 0.9}
+        return Schedule.from_speeds(mapping, platform, speeds)
+
+    def test_rounded_schedule_lives_on_vdd_platform(self):
+        schedule = self._continuous_schedule()
+        vdd_platform = Platform(1, MODES)
+        rounded = round_schedule_to_vdd(schedule, vdd_platform)
+        assert rounded.platform is vdd_platform
+        assert not rounded.violations()
+
+    def test_makespan_preserved(self):
+        schedule = self._continuous_schedule()
+        rounded = round_schedule_to_vdd(schedule, Platform(1, MODES))
+        assert rounded.makespan() == pytest.approx(schedule.makespan(), rel=1e-9)
+
+    def test_energy_increases_only_modestly(self):
+        schedule = self._continuous_schedule()
+        rounded = round_schedule_to_vdd(schedule, Platform(1, MODES))
+        assert rounded.energy() >= schedule.energy() - 1e-9
+        # With 5 evenly spaced modes the loss is well below the worst case
+        # (next-mode-up rounding); mixing keeps it tight.
+        assert rounded.energy() <= 1.25 * schedule.energy()
+
+    def test_reexecutions_preserved(self):
+        graph = generators.chain([2.0])
+        platform = Platform(1, ContinuousSpeeds(0.2, 1.0))
+        mapping = Mapping.single_processor(graph)
+        decision = TaskDecision.reexecuted("T0", 2.0, 0.5, 0.5)
+        schedule = Schedule(mapping, platform, {"T0": decision})
+        rounded = round_schedule_to_vdd(schedule, Platform(1, MODES))
+        assert rounded.decisions["T0"].is_reexecuted
+        assert rounded.num_reexecuted() == 1
+
+    def test_reliability_matching_mode(self):
+        model = ReliabilityModel(fmin=0.2, fmax=1.0, lambda0=1e-2, sensitivity=4.0)
+        schedule = self._continuous_schedule()
+        vdd_platform = Platform(1, MODES, reliability_model=model)
+        rounded = round_schedule_to_vdd(schedule, vdd_platform,
+                                        reliability_model=model,
+                                        match_reliability=True)
+        for t in schedule.graph.tasks():
+            original = schedule.task_reliability(t, model)
+            assert rounded.task_reliability(t, model) >= original - 1e-10
+
+    def test_requires_vdd_platform(self):
+        schedule = self._continuous_schedule()
+        with pytest.raises(TypeError):
+            round_schedule_to_vdd(schedule, Platform(1, ContinuousSpeeds(0.2, 1.0)))

@@ -1,0 +1,205 @@
+"""Tests of the schedule representation, feasibility checks and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reliability import ReliabilityModel
+from repro.core.schedule import Execution, Schedule, TaskDecision
+from repro.core.speeds import ContinuousSpeeds, DiscreteSpeeds, VddHoppingSpeeds
+from repro.dag import generators
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+class TestExecution:
+    def test_at_speed(self):
+        e = Execution.at_speed(4.0, 2.0)
+        assert e.duration == pytest.approx(2.0)
+        assert e.work == pytest.approx(4.0)
+        assert e.mean_speed() == pytest.approx(2.0)
+        assert e.is_constant_speed
+
+    def test_zero_weight(self):
+        e = Execution.at_speed(0.0, 1.0)
+        assert e.duration == 0.0
+        assert e.work == 0.0
+
+    def test_energy_cube_law(self):
+        e = Execution.at_speed(4.0, 2.0)
+        # E = f^3 * t = 8 * 2 = 16 = w * f^2.
+        assert e.energy() == pytest.approx(16.0)
+
+    def test_multi_interval(self):
+        e = Execution.from_intervals([(1.0, 1.0), (2.0, 0.5)])
+        assert e.work == pytest.approx(2.0)
+        assert e.duration == pytest.approx(1.5)
+        assert e.mean_speed() == pytest.approx(2.0 / 1.5)
+        assert not e.is_constant_speed
+        assert e.speeds == (1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Execution(intervals=())
+        with pytest.raises(ValueError):
+            Execution.from_intervals([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            Execution.from_intervals([(1.0, -1.0)])
+        with pytest.raises(ValueError):
+            Execution.at_speed(1.0, 0.0)
+
+    def test_failure_probability(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3)
+        e = Execution.at_speed(5.0, 0.5)
+        expected = model.failure_probability(5.0, 0.5)
+        assert e.failure_probability(model) == pytest.approx(expected)
+
+
+class TestTaskDecision:
+    def test_single(self):
+        d = TaskDecision.single("a", 4.0, 2.0)
+        assert not d.is_reexecuted
+        assert d.worst_case_duration == pytest.approx(2.0)
+        assert d.energy() == pytest.approx(16.0)
+        assert d.speeds() == (2.0,)
+
+    def test_reexecuted(self):
+        d = TaskDecision.reexecuted("a", 4.0, 1.0, 2.0)
+        assert d.is_reexecuted
+        assert d.worst_case_duration == pytest.approx(4.0 + 2.0)
+        assert d.energy() == pytest.approx(4.0 * 1.0 + 4.0 * 4.0)
+        assert d.speeds() == (1.0, 2.0)
+
+    def test_reliability_combines_attempts(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-2)
+        single = TaskDecision.single("a", 3.0, 0.5)
+        double = TaskDecision.reexecuted("a", 3.0, 0.5, 0.5)
+        assert double.reliability(model) > single.reliability(model)
+
+    def test_at_most_two_executions(self):
+        e = Execution.at_speed(1.0, 1.0)
+        with pytest.raises(ValueError):
+            TaskDecision("a", (e, e, e))
+        with pytest.raises(ValueError):
+            TaskDecision("a", ())
+
+
+class TestSchedule:
+    @pytest.fixture
+    def chain_setup(self):
+        graph = generators.chain([2.0, 4.0, 2.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 2.0))
+        mapping = Mapping.single_processor(graph)
+        return graph, platform, mapping
+
+    def test_uniform_speed_schedule(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        assert s.makespan() == pytest.approx(8.0)
+        assert s.energy() == pytest.approx(8.0)  # w * 1^2 summed
+        assert s.num_reexecuted() == 0
+
+    def test_from_speeds(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        s = Schedule.from_speeds(mapping, platform, {"T0": 2.0, "T1": 1.0, "T2": 0.5})
+        assert s.makespan() == pytest.approx(1.0 + 4.0 + 4.0)
+        assert s.energy() == pytest.approx(2 * 4 + 4 * 1 + 2 * 0.25)
+
+    def test_missing_decision_rejected(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        decisions = {"T0": TaskDecision.single("T0", 2.0, 1.0)}
+        with pytest.raises(ValueError, match="missing"):
+            Schedule(mapping, platform, decisions)
+
+    def test_extra_decision_rejected(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        decisions = {t: TaskDecision.single(t, graph.weight(t), 1.0) for t in graph.tasks()}
+        decisions["zzz"] = TaskDecision.single("zzz", 1.0, 1.0)
+        with pytest.raises(ValueError, match="unknown"):
+            Schedule(mapping, platform, decisions)
+
+    def test_parallel_makespan_uses_critical_path(self):
+        graph = generators.fork(1.0, [2.0, 4.0])
+        platform = Platform(4, ContinuousSpeeds(0.1, 2.0))
+        mapping = Mapping.one_task_per_processor(graph)
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        assert s.makespan() == pytest.approx(5.0)
+
+    def test_same_processor_serialisation_extends_makespan(self):
+        graph = generators.fork(1.0, [2.0, 4.0])
+        platform = Platform(1, ContinuousSpeeds(0.1, 2.0))
+        mapping = Mapping.single_processor(graph)
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        assert s.makespan() == pytest.approx(7.0)
+
+    def test_reexecution_counts_in_makespan_and_energy(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        decisions = {t: TaskDecision.single(t, graph.weight(t), 1.0) for t in graph.tasks()}
+        decisions["T1"] = TaskDecision.reexecuted("T1", 4.0, 1.0, 1.0)
+        s = Schedule(mapping, platform, decisions)
+        assert s.makespan() == pytest.approx(12.0)
+        assert s.energy() == pytest.approx(2.0 + 8.0 + 2.0)
+        assert s.num_reexecuted() == 1
+
+    def test_violations_deadline(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        assert s.is_feasible(deadline=8.0)
+        violations = s.violations(deadline=7.0)
+        assert any(v.kind == "deadline" for v in violations)
+
+    def test_violations_speed_bounds(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        s = Schedule.uniform_speed(mapping, platform, 5.0)  # above fmax=2
+        assert any(v.kind == "speed" for v in s.violations())
+
+    def test_violations_switching_not_allowed_on_discrete(self):
+        graph = generators.chain([2.0])
+        platform = Platform(1, DiscreteSpeeds([0.5, 1.0]))
+        mapping = Mapping.single_processor(graph)
+        execution = Execution.from_intervals([(0.5, 2.0), (1.0, 1.0)])
+        s = Schedule(mapping, platform, {"T0": TaskDecision("T0", (execution,))})
+        kinds = {v.kind for v in s.violations()}
+        assert "switching" in kinds
+
+    def test_switching_allowed_on_vdd(self):
+        graph = generators.chain([2.0])
+        platform = Platform(1, VddHoppingSpeeds([0.5, 1.0]))
+        mapping = Mapping.single_processor(graph)
+        execution = Execution.from_intervals([(0.5, 2.0), (1.0, 1.0)])
+        s = Schedule(mapping, platform, {"T0": TaskDecision("T0", (execution,))})
+        assert not any(v.kind == "switching" for v in s.violations())
+
+    def test_violations_work_conservation(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        decisions = {t: TaskDecision.single(t, graph.weight(t), 1.0) for t in graph.tasks()}
+        # Wrong amount of work for T0 (weight 2, execution does 1).
+        decisions["T0"] = TaskDecision("T0", (Execution.from_intervals([(1.0, 1.0)]),))
+        s = Schedule(mapping, platform, decisions)
+        assert any(v.kind == "work" for v in s.violations())
+
+    def test_reliability_violations(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        model = ReliabilityModel(fmin=0.1, fmax=2.0, lambda0=1e-3)
+        slow = Schedule.uniform_speed(mapping, platform, 0.5)
+        violations = slow.violations(check_reliability=True, reliability_model=model)
+        assert any(v.kind == "reliability" for v in violations)
+        fast = Schedule.uniform_speed(mapping, platform, 2.0)
+        assert not fast.violations(check_reliability=True, reliability_model=model)
+
+    def test_summary_and_speed_assignment(self, chain_setup):
+        graph, platform, mapping = chain_setup
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        summary = s.summary(deadline=10.0)
+        assert summary["energy"] == pytest.approx(8.0)
+        assert summary["deadline_slack"] == pytest.approx(2.0)
+        assert s.speed_assignment()["T0"] == (1.0,)
+
+    def test_energy_with_static(self, chain_setup):
+        graph, _, mapping = chain_setup
+        from repro.core.energy import EnergyModel
+
+        platform = Platform(1, ContinuousSpeeds(0.1, 2.0),
+                            EnergyModel(static_power=0.5))
+        s = Schedule.uniform_speed(mapping, platform, 1.0)
+        assert s.energy_with_static() == pytest.approx(8.0 + 0.5 * 8.0)

@@ -1,0 +1,133 @@
+"""Tests of series-parallel recognition, decomposition and reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import generators
+from repro.dag.series_parallel import (
+    NotSeriesParallelError,
+    SPLeaf,
+    SPParallel,
+    SPSeries,
+    decompose,
+    is_series_parallel,
+    sp_depth,
+    sp_leaves,
+    sp_tree_to_taskgraph,
+)
+from repro.dag.taskgraph import TaskGraph
+
+
+class TestSPTreeConstruction:
+    def test_leaf_validation(self):
+        with pytest.raises(ValueError):
+            SPLeaf("a", -1.0)
+
+    def test_series_and_parallel_need_two_children(self):
+        leaf = SPLeaf("a", 1.0)
+        with pytest.raises(ValueError):
+            SPSeries((leaf,))
+        with pytest.raises(ValueError):
+            SPParallel((leaf,))
+
+    def test_tree_to_taskgraph_chain(self):
+        tree = SPSeries((SPLeaf("a", 1.0), SPLeaf("b", 2.0), SPLeaf("c", 3.0)))
+        g = sp_tree_to_taskgraph(tree)
+        assert g.is_chain()
+        assert g.chain_order() == ["a", "b", "c"]
+
+    def test_tree_to_taskgraph_fork(self):
+        tree = SPSeries((SPLeaf("s", 1.0),
+                         SPParallel((SPLeaf("a", 1.0), SPLeaf("b", 2.0)))))
+        g = sp_tree_to_taskgraph(tree)
+        ok, source = g.is_fork()
+        assert ok and source == "s"
+
+    def test_tree_to_taskgraph_fork_join(self):
+        tree = SPSeries((
+            SPLeaf("s", 1.0),
+            SPParallel((SPLeaf("a", 1.0), SPLeaf("b", 2.0))),
+            SPLeaf("t", 1.0),
+        ))
+        g = sp_tree_to_taskgraph(tree)
+        assert set(g.edges()) == {("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")}
+
+    def test_duplicate_ids_rejected(self):
+        tree = SPSeries((SPLeaf("a", 1.0), SPLeaf("a", 2.0)))
+        with pytest.raises(ValueError, match="duplicate"):
+            sp_tree_to_taskgraph(tree)
+
+    def test_leaves_and_depth(self):
+        tree = SPSeries((SPLeaf("a", 1.0),
+                         SPParallel((SPLeaf("b", 1.0), SPLeaf("c", 1.0)))))
+        assert [l.task_id for l in sp_leaves(tree)] == ["a", "b", "c"]
+        assert sp_depth(tree) == 3
+        assert sp_depth(SPLeaf("x", 1.0)) == 1
+
+
+class TestDecomposition:
+    def test_single_task(self):
+        g = TaskGraph({"a": 2.0})
+        tree = decompose(g)
+        assert isinstance(tree, SPLeaf)
+        assert tree.weight == 2.0
+
+    def test_chain_decomposes_to_series(self):
+        g = generators.chain([1.0, 2.0, 3.0])
+        tree = decompose(g)
+        assert isinstance(tree, SPSeries)
+        assert len(sp_leaves(tree)) == 3
+
+    def test_independent_tasks_decompose_to_parallel(self):
+        g = TaskGraph({"a": 1.0, "b": 2.0, "c": 3.0})
+        tree = decompose(g)
+        assert isinstance(tree, SPParallel)
+        assert len(tree.children) == 3
+
+    def test_fork_decomposes(self):
+        g = generators.fork(1.0, [2.0, 3.0])
+        tree = decompose(g)
+        assert isinstance(tree, SPSeries)
+        assert isinstance(tree.children[0], SPLeaf)
+        assert isinstance(tree.children[1], SPParallel)
+
+    def test_fork_join_decomposes(self):
+        g = generators.fork_join(1.0, [2.0, 3.0], 4.0)
+        tree = decompose(g)
+        assert isinstance(tree, SPSeries)
+        assert len(tree.children) == 3
+
+    def test_non_sp_graph_rejected(self):
+        # The "N" graph: a->c, a->d, b->d is the classic non-SP witness.
+        g = TaskGraph({"a": 1, "b": 1, "c": 1, "d": 1},
+                      [("a", "c"), ("a", "d"), ("b", "d")])
+        assert not is_series_parallel(g)
+        with pytest.raises(NotSeriesParallelError):
+            decompose(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(NotSeriesParallelError):
+            decompose(TaskGraph({}))
+
+    def test_roundtrip_preserves_graph(self):
+        for seed in range(6):
+            g = generators.random_series_parallel(8, seed=seed)
+            tree = decompose(g)
+            rebuilt = sp_tree_to_taskgraph(tree)
+            assert rebuilt == g
+
+    def test_trees_are_series_parallel(self):
+        # An out-tree is SP under the node-composition semantics.
+        g = generators.out_tree(3, 2)
+        assert is_series_parallel(g)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sp_roundtrip_property(self, n, seed):
+        g = generators.random_series_parallel(n, seed=seed)
+        tree = decompose(g)
+        assert sp_tree_to_taskgraph(tree) == g
+        assert len(sp_leaves(tree)) == n

@@ -1,0 +1,175 @@
+"""Tests of the fault-injecting execution simulator and Monte-Carlo estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import ReliabilityModel
+from repro.core.schedule import Schedule, TaskDecision
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.simulation.engine import simulate_schedule
+from repro.simulation.faults import FaultInjector
+from repro.simulation.montecarlo import (
+    analytic_schedule_reliability,
+    run_monte_carlo,
+)
+
+
+def chain_schedule(speed=1.0, lambda0=1e-3, reexecute=()):
+    graph = generators.chain([2.0, 1.0, 3.0])
+    model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0, sensitivity=3.0)
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+    mapping = Mapping.single_processor(graph)
+    decisions = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        if t in reexecute:
+            decisions[t] = TaskDecision.reexecuted(t, w, speed, speed)
+        else:
+            decisions[t] = TaskDecision.single(t, w, speed)
+    return Schedule(mapping, platform, decisions)
+
+
+class TestFaultInjector:
+    def test_failure_probability_matches_model(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-2)
+        injector = FaultInjector(model, rng=0, poisson=False)
+        schedule = chain_schedule(speed=0.5)
+        execution = schedule.decisions["T0"].executions[0]
+        assert injector.failure_probability(execution) == pytest.approx(
+            model.failure_probability(2.0, 0.5)
+        )
+
+    def test_poisson_vs_first_order(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-2)
+        schedule = chain_schedule(speed=0.5)
+        execution = schedule.decisions["T2"].executions[0]
+        poisson = FaultInjector(model, rng=0, poisson=True).failure_probability(execution)
+        first_order = FaultInjector(model, rng=0, poisson=False).failure_probability(execution)
+        assert poisson <= first_order
+        assert poisson == pytest.approx(1.0 - math.exp(-first_order))
+
+    def test_sample_fault_time_within_duration_or_none(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=0.5)
+        injector = FaultInjector(model, rng=1)
+        schedule = chain_schedule(speed=0.5)
+        execution = schedule.decisions["T2"].executions[0]
+        for _ in range(50):
+            t = injector.sample_fault_time(execution)
+            assert t is None or 0.0 <= t <= execution.duration
+
+    def test_zero_rate_never_fails(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=0.0)
+        injector = FaultInjector(model, rng=0)
+        schedule = chain_schedule()
+        execution = schedule.decisions["T0"].executions[0]
+        assert injector.failure_probability(execution) == 0.0
+        assert not injector.sample_failure(execution)
+
+
+class TestSimulateSchedule:
+    def test_fault_free_run_matches_analytic_makespan_and_energy(self):
+        schedule = chain_schedule(speed=0.5)
+        result = simulate_schedule(schedule)
+        assert result.success
+        assert result.makespan == pytest.approx(schedule.makespan())
+        assert result.energy == pytest.approx(schedule.energy())
+        assert result.worst_case_energy == pytest.approx(schedule.energy())
+
+    def test_fault_free_parallel_run(self):
+        graph = generators.random_layered_dag(3, 3, seed=4)
+        platform = Platform(3, ContinuousSpeeds(0.1, 1.0))
+        mapping = critical_path_mapping(graph, 3, fmax=1.0).mapping
+        schedule = Schedule.uniform_speed(mapping, platform, 0.8)
+        result = simulate_schedule(schedule)
+        assert result.makespan == pytest.approx(schedule.makespan())
+        assert len(result.trace) == graph.num_tasks
+
+    def test_successful_first_attempt_skips_reexecution(self):
+        schedule = chain_schedule(speed=1.0, lambda0=0.0, reexecute=("T1",))
+        result = simulate_schedule(schedule)
+        # Only one attempt of T1 ran, so the observed energy and makespan are
+        # below the worst-case accounting.
+        assert result.energy < schedule.energy()
+        assert result.makespan < schedule.makespan()
+        assert result.num_attempts == 3
+
+    def test_worst_case_mode_runs_both_attempts(self):
+        schedule = chain_schedule(speed=1.0, lambda0=0.0, reexecute=("T1",))
+        result = simulate_schedule(schedule, skip_second_execution_on_success=False)
+        assert result.energy == pytest.approx(schedule.energy())
+        assert result.makespan == pytest.approx(schedule.makespan())
+
+    def test_certain_failure_marks_task_failed(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e6)
+        injector = FaultInjector(model, rng=0)
+        schedule = chain_schedule(speed=0.5)
+        result = simulate_schedule(schedule, injector=injector)
+        assert not result.success
+        assert result.failed_tasks
+
+    def test_trace_is_time_consistent(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=0.3)
+        injector = FaultInjector(model, rng=3)
+        schedule = chain_schedule(speed=0.5, reexecute=("T0", "T2"))
+        result = simulate_schedule(schedule, injector=injector)
+        for event in result.trace:
+            assert event.end >= event.start
+        # Events on the single processor never overlap.
+        ordered = sorted(result.trace, key=lambda e: e.start)
+        for a, b in zip(ordered[:-1], ordered[1:]):
+            assert b.start >= a.end - 1e-12
+
+    def test_energy_by_processor_sums_to_total(self):
+        graph = generators.random_layered_dag(3, 2, seed=6)
+        platform = Platform(2, ContinuousSpeeds(0.1, 1.0))
+        mapping = critical_path_mapping(graph, 2, fmax=1.0).mapping
+        schedule = Schedule.uniform_speed(mapping, platform, 1.0)
+        result = simulate_schedule(schedule)
+        assert sum(result.energy_by_processor(2)) == pytest.approx(result.energy)
+
+
+class TestMonteCarlo:
+    def test_analytic_reliability_product(self):
+        schedule = chain_schedule(speed=0.5, lambda0=1e-2)
+        model = schedule.platform.reliability()
+        expected = 1.0
+        for t in schedule.graph.tasks():
+            expected *= 1.0 - (1.0 - math.exp(
+                -model.fault_rate(0.5) * schedule.graph.weight(t) / 0.5))
+        assert analytic_schedule_reliability(schedule) == pytest.approx(expected)
+
+    def test_monte_carlo_matches_analytic(self):
+        schedule = chain_schedule(speed=0.5, lambda0=5e-2)
+        summary = run_monte_carlo(schedule, trials=3000, seed=7)
+        assert summary.within_confidence()
+        assert 0.0 < summary.success_rate <= 1.0
+        assert summary.mean_energy <= summary.mean_worst_case_energy + 1e-9
+
+    def test_reexecution_improves_reliability_at_energy_cost(self):
+        single = chain_schedule(speed=0.5, lambda0=5e-2)
+        reexec = chain_schedule(speed=0.5, lambda0=5e-2, reexecute=("T0", "T1", "T2"))
+        mc_single = run_monte_carlo(single, trials=2000, seed=1)
+        mc_reexec = run_monte_carlo(reexec, trials=2000, seed=2)
+        assert mc_reexec.success_rate > mc_single.success_rate
+        assert mc_reexec.mean_worst_case_energy > mc_single.mean_worst_case_energy
+
+    def test_slowing_down_degrades_reliability(self):
+        fast = chain_schedule(speed=1.0, lambda0=5e-2)
+        slow = chain_schedule(speed=0.4, lambda0=5e-2)
+        assert analytic_schedule_reliability(slow) < analytic_schedule_reliability(fast)
+        mc_fast = run_monte_carlo(fast, trials=1500, seed=3)
+        mc_slow = run_monte_carlo(slow, trials=1500, seed=4)
+        assert mc_slow.success_rate < mc_fast.success_rate
+
+    def test_trials_validation(self):
+        schedule = chain_schedule()
+        with pytest.raises(ValueError):
+            run_monte_carlo(schedule, trials=0)

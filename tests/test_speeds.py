@@ -1,0 +1,197 @@
+"""Unit and property tests for the speed (DVFS) models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.speeds import (
+    INTEL_XSCALE_SPEEDS,
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    IncrementalSpeeds,
+    VddHoppingSpeeds,
+)
+
+
+class TestContinuousSpeeds:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousSpeeds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ContinuousSpeeds(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ContinuousSpeeds(0.5, float("inf"))
+
+    def test_admissibility(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        assert model.is_admissible(0.2)
+        assert model.is_admissible(0.7351)
+        assert model.is_admissible(1.0)
+        assert not model.is_admissible(0.1)
+        assert not model.is_admissible(1.2)
+
+    def test_round_up_and_down_are_identity_inside_range(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        assert model.round_up(0.5) == pytest.approx(0.5)
+        assert model.round_down(0.5) == pytest.approx(0.5)
+
+    def test_round_up_clamps_to_fmin(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        assert model.round_up(0.05) == pytest.approx(0.2)
+
+    def test_round_up_rejects_above_fmax(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        with pytest.raises(ValueError):
+            model.round_up(1.5)
+
+    def test_round_down_rejects_below_fmin(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        with pytest.raises(ValueError):
+            model.round_down(0.01)
+
+    def test_allows_intra_task_switching(self):
+        assert ContinuousSpeeds(0.2, 1.0).allows_intra_task_switching
+        assert not ContinuousSpeeds(0.2, 1.0).is_discrete
+
+    def test_bracketing(self):
+        model = ContinuousSpeeds(0.2, 1.0)
+        lo, hi = model.bracketing_speeds(0.6)
+        assert lo == pytest.approx(0.6)
+        assert hi == pytest.approx(0.6)
+
+
+class TestDiscreteSpeeds:
+    def test_sorted_and_deduplicated(self):
+        model = DiscreteSpeeds([1.0, 0.4, 0.4, 0.6])
+        assert model.speeds == (0.4, 0.6, 1.0)
+        assert model.num_modes == 3
+        assert model.fmin == 0.4
+        assert model.fmax == 1.0
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            DiscreteSpeeds([])
+        with pytest.raises(ValueError):
+            DiscreteSpeeds([0.5, -0.2])
+
+    def test_admissibility_only_at_modes(self):
+        model = DiscreteSpeeds(INTEL_XSCALE_SPEEDS)
+        assert model.is_admissible(0.6)
+        assert not model.is_admissible(0.5)
+
+    def test_round_up(self):
+        model = DiscreteSpeeds([0.2, 0.5, 1.0])
+        assert model.round_up(0.3) == pytest.approx(0.5)
+        assert model.round_up(0.5) == pytest.approx(0.5)
+        assert model.round_up(0.01) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            model.round_up(1.01)
+
+    def test_round_down(self):
+        model = DiscreteSpeeds([0.2, 0.5, 1.0])
+        assert model.round_down(0.3) == pytest.approx(0.2)
+        assert model.round_down(1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            model.round_down(0.1)
+
+    def test_bracketing_speeds(self):
+        model = DiscreteSpeeds([0.2, 0.5, 1.0])
+        assert model.bracketing_speeds(0.3) == (pytest.approx(0.2), pytest.approx(0.5))
+        assert model.bracketing_speeds(0.5) == (pytest.approx(0.5), pytest.approx(0.5))
+        # Values outside the range are clamped first.
+        assert model.bracketing_speeds(5.0) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_no_intra_task_switching(self):
+        assert not DiscreteSpeeds([0.2, 1.0]).allows_intra_task_switching
+
+    @given(st.lists(st.floats(min_value=0.05, max_value=5.0), min_size=1, max_size=8),
+           st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_round_up_property(self, speeds, query):
+        model = DiscreteSpeeds(speeds)
+        query = min(query, model.fmax)
+        rounded = model.round_up(query)
+        assert rounded >= query - 1e-9
+        assert model.is_admissible(rounded)
+
+
+class TestVddHoppingSpeeds:
+    def test_allows_switching(self):
+        assert VddHoppingSpeeds([0.2, 1.0]).allows_intra_task_switching
+
+    def test_consecutive_pairs(self):
+        model = VddHoppingSpeeds([0.2, 0.5, 1.0])
+        assert model.consecutive_pairs() == [(0.2, 0.5), (0.5, 1.0)]
+
+    def test_hop_split_preserves_work_and_time(self):
+        model = VddHoppingSpeeds([0.2, 0.5, 1.0])
+        work = 3.0
+        speed = 0.7
+        parts = model.hop_split(speed, work)
+        assert sum(f * t for f, t in parts) == pytest.approx(work)
+        assert sum(t for _, t in parts) == pytest.approx(work / speed)
+        used = {f for f, _ in parts}
+        assert used <= {0.5, 1.0}
+
+    def test_hop_split_exact_mode_uses_single_interval(self):
+        model = VddHoppingSpeeds([0.2, 0.5, 1.0])
+        parts = model.hop_split(0.5, 2.0)
+        assert len(parts) == 1
+        assert parts[0][0] == pytest.approx(0.5)
+
+    def test_hop_split_zero_work(self):
+        model = VddHoppingSpeeds([0.2, 0.5, 1.0])
+        assert model.hop_split(0.5, 0.0) == []
+
+    def test_hop_split_negative_work_rejected(self):
+        model = VddHoppingSpeeds([0.2, 0.5, 1.0])
+        with pytest.raises(ValueError):
+            model.hop_split(0.5, -1.0)
+
+    @given(st.floats(min_value=0.21, max_value=0.99),
+           st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=80, deadline=None)
+    def test_hop_split_property(self, speed, work):
+        model = VddHoppingSpeeds([0.2, 0.4, 0.6, 0.8, 1.0])
+        parts = model.hop_split(speed, work)
+        assert sum(f * t for f, t in parts) == pytest.approx(work, rel=1e-9)
+        assert sum(t for _, t in parts) == pytest.approx(work / speed, rel=1e-9)
+        assert all(t >= 0 for _, t in parts)
+        # The mixture uses at most the two consecutive bracketing modes.
+        assert len(parts) <= 2
+
+
+class TestIncrementalSpeeds:
+    def test_modes_are_regular(self):
+        model = IncrementalSpeeds(0.2, 1.0, 0.2)
+        assert model.speeds == pytest.approx((0.2, 0.4, 0.6, 0.8, 1.0))
+        assert model.delta == pytest.approx(0.2)
+
+    def test_range_not_multiple_of_delta(self):
+        model = IncrementalSpeeds(0.2, 1.0, 0.3)
+        assert model.speeds == pytest.approx((0.2, 0.5, 0.8))
+        assert model.physical_fmax == pytest.approx(1.0)
+        assert model.fmax == pytest.approx(0.8)
+
+    def test_mode_index(self):
+        model = IncrementalSpeeds(0.2, 1.0, 0.2)
+        assert model.mode_index(0.6) == 2
+        with pytest.raises(ValueError):
+            model.mode_index(0.55)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            IncrementalSpeeds(0.2, 1.0, 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=0.5),
+           st.floats(min_value=0.2, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_round_up_within_delta(self, delta, fraction):
+        model = IncrementalSpeeds(0.1, 1.0, delta)
+        query = 0.1 + fraction * (model.fmax - 0.1)
+        rounded = model.round_up(query)
+        assert query - 1e-9 <= rounded <= query + delta + 1e-9

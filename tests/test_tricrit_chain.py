@@ -1,0 +1,149 @@
+"""Tests of the TRI-CRIT chain solvers (paper Section III, linear chains)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.continuous.tricrit_chain import (
+    reexecution_speed_floor,
+    solve_given_reexec_set,
+    solve_tricrit_chain_exact,
+    solve_tricrit_chain_greedy,
+)
+from repro.core.problems import TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def chain_problem(weights, slack, *, lambda0=1e-4, frel=None) -> TriCritProblem:
+    graph = generators.chain(weights)
+    model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0, frel=frel)
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+    deadline = slack * graph.total_weight()  # fmax = 1
+    return TriCritProblem(Mapping.single_processor(graph), platform, deadline)
+
+
+class TestFixedSubsetSubproblem:
+    def test_empty_subset_is_uniform_at_frel_when_deadline_loose(self):
+        problem = chain_problem([1.0, 2.0], slack=5.0)
+        model = problem.reliability()
+        sol = solve_given_reexec_set([1.0, 2.0], ["T0", "T1"], problem.deadline, (),
+                                     fmin=0.1, fmax=1.0, model=model)
+        assert sol.feasible
+        # With frel = fmax = 1 a single execution must run at full speed.
+        assert sol.speeds["T0"] == pytest.approx(1.0)
+        assert sol.speeds["T1"] == pytest.approx(1.0)
+
+    def test_reexecution_lowers_speed_floor(self):
+        problem = chain_problem([1.0, 2.0], slack=5.0)
+        model = problem.reliability()
+        sol = solve_given_reexec_set([1.0, 2.0], ["T0", "T1"], problem.deadline,
+                                     ("T1",), fmin=0.1, fmax=1.0, model=model)
+        assert sol.feasible
+        assert "T1" in sol.reexecuted
+        assert sol.speeds["T1"] < 1.0
+        # The re-executed task's two executions fit in its reported duration.
+        assert sol.durations["T1"] == pytest.approx(2 * 2.0 / sol.speeds["T1"])
+
+    def test_infeasible_when_too_many_reexecutions(self):
+        problem = chain_problem([1.0, 1.0, 1.0], slack=1.05)
+        model = problem.reliability()
+        sol = solve_given_reexec_set([1.0, 1.0, 1.0], ["T0", "T1", "T2"],
+                                     problem.deadline, ("T0", "T1", "T2"),
+                                     fmin=0.1, fmax=1.0, model=model)
+        assert not sol.feasible
+        assert sol.energy == math.inf
+
+    def test_unknown_task_rejected(self):
+        problem = chain_problem([1.0], slack=2.0)
+        with pytest.raises(ValueError):
+            solve_given_reexec_set([1.0], ["T0"], problem.deadline, ("T9",),
+                                   fmin=0.1, fmax=1.0, model=problem.reliability())
+
+    def test_reexecution_speed_floor_properties(self):
+        model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=1e-3)
+        floor = reexecution_speed_floor(model, 5.0, 0.1)
+        assert 0.1 <= floor <= 1.0
+        assert model.reexecution_ok(5.0, floor, floor, tol=1e-9)
+
+
+class TestExactSolver:
+    def test_tight_deadline_forces_no_reexecution(self):
+        problem = chain_problem([1.0, 2.0, 1.0], slack=1.0)
+        result = solve_tricrit_chain_exact(problem)
+        assert result.feasible
+        assert result.metadata["reexecuted"] == []
+        assert result.energy == pytest.approx(4.0)  # everything at fmax=1
+
+    def test_loose_deadline_makes_reexecution_beneficial(self):
+        problem = chain_problem([1.0, 2.0, 1.0], slack=4.0)
+        result = solve_tricrit_chain_exact(problem)
+        no_reexec = solve_given_reexec_set(
+            [1.0, 2.0, 1.0], ["T0", "T1", "T2"], problem.deadline, (),
+            fmin=0.1, fmax=1.0, model=problem.reliability(),
+        )
+        assert result.energy < no_reexec.energy - 1e-9
+        assert len(result.metadata["reexecuted"]) >= 1
+
+    def test_schedule_is_feasible_and_reliable(self):
+        problem = chain_problem([2.0, 1.0, 3.0], slack=3.0)
+        result = solve_tricrit_chain_exact(problem)
+        report = problem.evaluate(result.require_schedule())
+        assert report.feasible
+
+    def test_subset_count_is_exponential(self):
+        problem = chain_problem([1.0] * 5, slack=2.0)
+        result = solve_tricrit_chain_exact(problem)
+        assert result.metadata["subsets_evaluated"] == 2 ** 5
+
+    def test_max_tasks_guard(self):
+        problem = chain_problem([1.0] * 6, slack=2.0)
+        with pytest.raises(ValueError):
+            solve_tricrit_chain_exact(problem, max_tasks=4)
+
+    def test_requires_single_processor_mapping(self, tricrit_fork_problem):
+        with pytest.raises(ValueError):
+            solve_tricrit_chain_exact(tricrit_fork_problem)
+
+
+class TestGreedyStrategy:
+    def test_greedy_matches_exact_on_small_chains(self):
+        for slack in (1.5, 2.5, 4.0):
+            for seed in range(3):
+                weights = list(generators.random_weights(5, seed=seed, low=1.0, high=5.0))
+                problem = chain_problem(weights, slack=slack)
+                exact = solve_tricrit_chain_exact(problem)
+                greedy = solve_tricrit_chain_greedy(problem)
+                assert greedy.feasible
+                # The paper's strategy is optimal on chains; allow a tiny
+                # numerical tolerance plus rare greedy ties.
+                assert greedy.energy <= exact.energy * 1.02 + 1e-9
+
+    def test_greedy_never_beats_exact(self):
+        problem = chain_problem([1.0, 2.0, 3.0, 1.0], slack=3.0)
+        exact = solve_tricrit_chain_exact(problem)
+        greedy = solve_tricrit_chain_greedy(problem)
+        assert greedy.energy >= exact.energy - 1e-9
+
+    def test_greedy_schedule_feasible(self):
+        problem = chain_problem([1.0, 4.0, 2.0], slack=2.5)
+        greedy = solve_tricrit_chain_greedy(problem)
+        report = problem.evaluate(greedy.require_schedule())
+        assert report.feasible
+
+    def test_greedy_reports_evaluations(self):
+        problem = chain_problem([1.0, 2.0], slack=3.0)
+        greedy = solve_tricrit_chain_greedy(problem)
+        assert greedy.metadata["subsets_evaluated"] >= 1
+
+    def test_lower_frel_reduces_energy(self):
+        tight_rel = chain_problem([1.0, 2.0, 1.0], slack=3.0, frel=None)  # frel = fmax
+        relaxed_rel = chain_problem([1.0, 2.0, 1.0], slack=3.0, frel=0.6)
+        e_tight = solve_tricrit_chain_greedy(tight_rel).energy
+        e_relaxed = solve_tricrit_chain_greedy(relaxed_rel).energy
+        assert e_relaxed <= e_tight + 1e-9
