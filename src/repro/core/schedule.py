@@ -171,13 +171,21 @@ class ScheduleViolation:
 
 
 class Schedule:
-    """A complete set of per-task decisions for a mapped task graph."""
+    """A complete set of per-task decisions for a mapped task graph.
+
+    Schedules are treated as immutable once constructed (decisions are
+    frozen dataclasses and solvers always build a new ``Schedule`` instead
+    of editing one in place), so the derived timing and energy quantities --
+    per-task durations, start/finish times, makespan, worst-case energy --
+    are memoised on first use rather than re-walking the DAG on every call.
+    """
 
     def __init__(self, mapping: Mapping, platform: Platform,
                  decisions: TMapping[TaskId, TaskDecision]) -> None:
         self.mapping = mapping
         self.platform = platform
         self.graph: TaskGraph = mapping.graph
+        self._derived_cache: dict = {}
         self.decisions: dict[TaskId, TaskDecision] = dict(decisions)
         missing = set(self.graph.tasks()) - set(self.decisions)
         if missing:
@@ -217,33 +225,53 @@ class Schedule:
         return self.decisions[task_id].worst_case_duration
 
     def durations(self) -> dict[TaskId, float]:
-        return {t: self.task_duration(t) for t in self.graph.tasks()}
+        """Worst-case duration of every task (memoised; returns a copy)."""
+        cached = self._derived_cache.get("durations")
+        if cached is None:
+            cached = {t: self.task_duration(t) for t in self.graph.tasks()}
+            self._derived_cache["durations"] = cached
+        return dict(cached)
+
+    def task_durations(self) -> dict[TaskId, float]:
+        """Alias of :meth:`durations` (worst-case duration per task)."""
+        return self.durations()
 
     def start_finish_times(self) -> tuple[dict[TaskId, float], dict[TaskId, float]]:
         """Earliest start/finish times respecting precedence and processor order."""
-        augmented = self.mapping.augmented_graph()
-        durations = self.durations()
-        start: dict[TaskId, float] = {}
-        finish: dict[TaskId, float] = {}
-        for t in augmented.topological_order():
-            s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
-            start[t] = s
-            finish[t] = s + durations[t]
-        return start, finish
+        cached = self._derived_cache.get("start_finish")
+        if cached is None:
+            augmented = self.mapping.augmented_graph()
+            durations = self.durations()
+            start: dict[TaskId, float] = {}
+            finish: dict[TaskId, float] = {}
+            for t in augmented.topological_order():
+                s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+                start[t] = s
+                finish[t] = s + durations[t]
+            cached = (start, finish)
+            self._derived_cache["start_finish"] = cached
+        return dict(cached[0]), dict(cached[1])
 
     def makespan(self) -> float:
-        """Worst-case total execution time of the schedule."""
-        _, finish = self.start_finish_times()
-        return max(finish.values(), default=0.0)
+        """Worst-case total execution time of the schedule (memoised)."""
+        cached = self._derived_cache.get("makespan")
+        if cached is None:
+            _, finish = self.start_finish_times()
+            cached = max(finish.values(), default=0.0)
+            self._derived_cache["makespan"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # energy and reliability
     # ------------------------------------------------------------------
     def energy(self) -> float:
-        """Total worst-case dynamic energy (all executions charged)."""
-        alpha = self.platform.energy_model.exponent
-        dynamic = sum(d.energy(alpha) for d in self.decisions.values())
-        return float(dynamic)
+        """Total worst-case dynamic energy (all executions charged; memoised)."""
+        cached = self._derived_cache.get("energy")
+        if cached is None:
+            alpha = self.platform.energy_model.exponent
+            cached = float(sum(d.energy(alpha) for d in self.decisions.values()))
+            self._derived_cache["energy"] = cached
+        return cached
 
     def energy_with_static(self) -> float:
         """Dynamic energy plus the static part over the makespan."""

@@ -85,13 +85,16 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
                                           trials: int = 4000,
                                           lambda0: float = 1e-3,
                                           sensitivity: float = 4.0,
-                                          seed: int = 47) -> list[dict]:
+                                          seed: int = 47,
+                                          engine: str = "batch") -> list[dict]:
     """E11: Monte-Carlo reliability vs analytic model, with and without re-execution.
 
     A relatively high ``lambda0`` is used so that the failure probabilities
     are measurable with a reasonable number of trials; the qualitative shape
     (reliability drops as the speed drops, re-execution restores it at an
-    energy cost) is what matters.
+    energy cost) is what matters.  ``engine`` selects the Monte-Carlo kernel
+    (the vectorized ``"batch"`` fast path by default, ``"scalar"`` for the
+    reference per-trial walk).
     """
     graph = generators.random_chain(chain_size, seed=seed)
     mapping = Mapping.single_processor(graph)
@@ -104,7 +107,7 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
         speed = max(fraction * fmax, platform.fmin)
         single = Schedule.from_speeds(mapping, platform,
                                       {t: speed for t in graph.tasks()})
-        mc_single = run_monte_carlo(single, trials, seed=seed)
+        mc_single = run_monte_carlo(single, trials, seed=seed, engine=engine)
         decisions = {}
         for t in graph.tasks():
             w = graph.weight(t)
@@ -112,7 +115,7 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
             reexec_speed = max(speed, floor)
             decisions[t] = TaskDecision.reexecuted(t, w, reexec_speed, reexec_speed)
         reexec = Schedule(mapping, platform, decisions)
-        mc_reexec = run_monte_carlo(reexec, trials, seed=seed + 1)
+        mc_reexec = run_monte_carlo(reexec, trials, seed=seed + 1, engine=engine)
         rows.append({
             "speed_fraction": fraction,
             "single_analytic_reliability": mc_single.analytic_reliability,
@@ -136,8 +139,16 @@ def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 
                                                                  "topological",
                                                                  "min_loaded",
                                                                  "round_robin",
-                                                                 "random")) -> list[dict]:
-    """E12: impact of the list-scheduling mapping on the downstream energy optimum."""
+                                                                 "random"),
+                                    trials: int = 1000,
+                                    engine: str = "batch") -> list[dict]:
+    """E12: impact of the list-scheduling mapping on the downstream energy optimum.
+
+    Each feasible optimum is additionally exercised by ``trials`` simulated
+    fault-injected runs (through the Monte-Carlo kernel selected by
+    ``engine``), reporting the observed success rate and mean makespan next
+    to the analytic energy; ``trials=0`` skips the simulation columns.
+    """
     fmin, fmax = DEFAULT_SPEED_RANGE
     rows = []
     for i, (layers, width) in enumerate(shapes):
@@ -160,16 +171,26 @@ def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 
                     "energy": float("inf"),
                     "energy_vs_cp": float("inf"),
                     "feasible": False,
+                    "simulated_success_rate": float("nan"),
+                    "simulated_mean_makespan": float("nan"),
                 })
                 continue
             optimum = solve_bicrit_continuous(problem)
-            rows.append({
+            row = {
                 "instance": f"layered-{layers}x{width}",
                 "mapping": name,
                 "fmax_makespan": result.makespan,
                 "energy": optimum.energy,
                 "feasible": optimum.feasible,
-            })
+                "simulated_success_rate": float("nan"),
+                "simulated_mean_makespan": float("nan"),
+            }
+            if trials > 0 and optimum.schedule is not None:
+                mc = run_monte_carlo(optimum.schedule, trials, seed=seed + 97 * i,
+                                     engine=engine)
+                row["simulated_success_rate"] = mc.success_rate
+                row["simulated_mean_makespan"] = mc.mean_makespan
+            rows.append(row)
         # Normalise against the critical-path mapping of the same instance.
         cp_energy = next(r["energy"] for r in rows
                          if r["instance"] == f"layered-{layers}x{width}"

@@ -1,7 +1,17 @@
-"""Fault-injecting execution simulator and Monte-Carlo reliability estimation."""
+"""Fault-injecting execution simulator and Monte-Carlo reliability estimation.
 
+Two engines share the same fault model: the scalar walk of
+:mod:`repro.simulation.engine` (one run at a time, full trace) and the
+vectorized kernel of :mod:`repro.simulation.batch`, which lowers a schedule
+to flat arrays (:mod:`repro.simulation.compile`) and simulates all
+Monte-Carlo trials simultaneously.  :func:`run_monte_carlo` dispatches
+between them via its ``engine`` argument.
+"""
+
+from .batch import BatchSimulationResult, simulate_batch
+from .compile import CompiledSchedule, compile_schedule
 from .engine import SimulationResult, TraceEvent, simulate_schedule
-from .faults import FaultInjector
+from .faults import FaultInjector, as_generator
 from .montecarlo import (
     MonteCarloSummary,
     analytic_schedule_reliability,
@@ -10,9 +20,14 @@ from .montecarlo import (
 
 __all__ = [
     "FaultInjector",
+    "as_generator",
     "TraceEvent",
     "SimulationResult",
     "simulate_schedule",
+    "CompiledSchedule",
+    "compile_schedule",
+    "BatchSimulationResult",
+    "simulate_batch",
     "MonteCarloSummary",
     "run_monte_carlo",
     "analytic_schedule_reliability",

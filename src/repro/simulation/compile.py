@@ -1,0 +1,218 @@
+"""Schedule compilation: lower a :class:`~repro.core.schedule.Schedule` to arrays.
+
+The scalar simulator walks the augmented DAG with Python dictionaries for
+every simulated run; everything it needs, however, is a function of the
+(immutable) schedule alone and can be computed *once* and reused by all
+Monte-Carlo trials.  :func:`compile_schedule` performs that lowering:
+
+* tasks are renumbered ``0..n-1`` in topological order of the augmented
+  graph (precedence edges plus same-processor ordering edges), so any
+  forward pass over the index range respects all constraints;
+* the predecessor structure is stored in CSR form (``pred_ptr`` /
+  ``pred_idx``) for cheap gathering of predecessor finish times;
+* the executions of every positive-weight task are flattened into parallel
+  arrays (``exec_ptr`` segments of at most two entries per task) carrying
+  the per-execution duration, dynamic energy and integrated fault exposure
+  ``sum_j lambda(f_j) t_j`` -- the quantity from which both failure
+  probability forms (exact Poisson and the paper's first-order
+  approximation) derive.
+
+The compiled object is cached on the schedule instance, so repeated calls
+(`run_monte_carlo`, `analytic_schedule_reliability`, the batch engine) pay
+the graph walk exactly once.  :mod:`repro.simulation.batch` consumes these
+arrays to simulate all trials simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..dag.taskgraph import TaskId
+
+__all__ = ["CompiledSchedule", "compile_schedule"]
+
+#: Attribute under which the compiled form is memoised on the schedule.
+_CACHE_ATTR = "_compiled_schedule"
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledSchedule:
+    """Flat array form of a schedule, ready for vectorized simulation.
+
+    Compared by identity (``eq=False``): the fields hold arrays and dicts,
+    and one compiled object exists per schedule anyway.
+
+    Tasks are indexed ``0..num_tasks-1`` in topological order of the
+    augmented graph.  Executions of positive-weight tasks are flattened into
+    the ``exec_*`` arrays; task ``i`` owns the half-open segment
+    ``exec_ptr[i]:exec_ptr[i+1]`` (empty for zero-weight tasks, which
+    trivially succeed and take no time).
+    """
+
+    schedule: Schedule
+    order: tuple[TaskId, ...]
+    task_index: Dict[TaskId, int]
+    processor: np.ndarray
+    exec_ptr: np.ndarray
+    exec_duration: np.ndarray
+    exec_energy: np.ndarray
+    exec_exposure: np.ndarray
+    pred_ptr: np.ndarray
+    pred_idx: np.ndarray
+    worst_case_energy: float
+    _prob_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks (including zero-weight ones)."""
+        return len(self.order)
+
+    @property
+    def num_executions(self) -> int:
+        """Total number of scheduled executions across all tasks."""
+        return int(self.exec_ptr[-1])
+
+    @property
+    def first_execution(self) -> np.ndarray:
+        """Index of the first execution of every task (segment start)."""
+        return self.exec_ptr[:-1]
+
+    @property
+    def execution_counts(self) -> np.ndarray:
+        """Number of executions per task: 0 (zero weight), 1 or 2."""
+        return np.diff(self.exec_ptr)
+
+    def predecessors_of(self, i: int) -> np.ndarray:
+        """Indices of the augmented-graph predecessors of task ``i``."""
+        return self.pred_idx[self.pred_ptr[i]:self.pred_ptr[i + 1]]
+
+    # ------------------------------------------------------------------
+    # probabilities
+    # ------------------------------------------------------------------
+    def failure_probabilities(self, *, poisson: bool = True) -> np.ndarray:
+        """Per-execution failure probability (cached per form).
+
+        With ``poisson=True`` the exact expression ``1 - exp(-exposure)``;
+        with ``poisson=False`` the paper's first-order form
+        ``min(exposure, 1)``.
+        """
+        key = bool(poisson)
+        cached = self._prob_cache.get(key)
+        if cached is None:
+            if key:
+                cached = -np.expm1(-self.exec_exposure)
+            else:
+                cached = np.minimum(self.exec_exposure, 1.0)
+            cached = np.clip(cached, 0.0, 1.0)
+            cached.setflags(write=False)
+            self._prob_cache[key] = cached
+        return cached
+
+    def analytic_reliability(self, *, poisson: bool = True) -> float:
+        """Product of per-task success probabilities, fully vectorized.
+
+        A task with two executions fails only when both attempts fail; the
+        whole run succeeds when every positive-weight task succeeds.
+        """
+        key = ("analytic", bool(poisson))
+        cached = self._prob_cache.get(key)
+        if cached is None:
+            p = self.failure_probabilities(poisson=poisson)
+            first = self.first_execution
+            counts = self.execution_counts
+            failure = np.ones(self.num_tasks)
+            one_plus = counts >= 1
+            failure[one_plus] = p[first[one_plus]]
+            two = counts == 2
+            failure[two] *= p[first[two] + 1]
+            cached = float(np.prod(1.0 - failure[one_plus]))
+            self._prob_cache[key] = cached
+        return cached
+
+
+def compile_schedule(schedule: Schedule) -> CompiledSchedule:
+    """Lower ``schedule`` to a :class:`CompiledSchedule` (memoised).
+
+    The result is cached on the schedule instance: schedules are immutable
+    once constructed, so a second call returns the same object without
+    re-walking the DAG.
+    """
+    cached = getattr(schedule, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+
+    graph = schedule.graph
+    augmented = schedule.mapping.augmented_graph()
+    order = tuple(augmented.topological_order())
+    index = {t: i for i, t in enumerate(order)}
+    n = len(order)
+    exponent = schedule.platform.energy_model.exponent
+    model = schedule.platform.reliability()
+
+    processor = np.fromiter(
+        (schedule.mapping.processor_of(t) for t in order), dtype=np.intp, count=n,
+    )
+
+    # Flatten executions (positive-weight tasks only) and their intervals.
+    exec_ptr = np.zeros(n + 1, dtype=np.intp)
+    iv_speed: list[float] = []
+    iv_duration: list[float] = []
+    iv_exec: list[int] = []
+    m = 0
+    for i, t in enumerate(order):
+        if graph.weight(t) > 0:
+            for execution in schedule.decisions[t].executions:
+                for f, dt in execution.intervals:
+                    iv_speed.append(f)
+                    iv_duration.append(dt)
+                    iv_exec.append(m)
+                m += 1
+        exec_ptr[i + 1] = m
+
+    speeds = np.asarray(iv_speed, dtype=float)
+    durs = np.asarray(iv_duration, dtype=float)
+    owner = np.asarray(iv_exec, dtype=np.intp)
+    rates = np.asarray(model.fault_rate(speeds), dtype=float) if m else np.empty(0)
+    exec_duration = np.bincount(owner, weights=durs, minlength=m)
+    exec_energy = np.bincount(owner, weights=speeds ** exponent * durs, minlength=m)
+    exec_exposure = np.bincount(owner, weights=rates * durs, minlength=m)
+
+    # Predecessor structure of the augmented graph in CSR form.
+    pred_lists = [
+        np.sort(np.fromiter((index[p] for p in augmented.predecessors(t)),
+                            dtype=np.intp))
+        for t in order
+    ]
+    pred_ptr = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum([len(preds) for preds in pred_lists], out=pred_ptr[1:])
+    pred_idx = (np.concatenate(pred_lists) if n else np.empty(0, dtype=np.intp))
+
+    for arr in (processor, exec_ptr, exec_duration, exec_energy, exec_exposure,
+                pred_ptr, pred_idx):
+        arr.setflags(write=False)
+
+    compiled = CompiledSchedule(
+        schedule=schedule,
+        order=order,
+        task_index=index,
+        processor=processor,
+        exec_ptr=exec_ptr,
+        exec_duration=exec_duration,
+        exec_energy=exec_energy,
+        exec_exposure=exec_exposure,
+        pred_ptr=pred_ptr,
+        pred_idx=pred_idx,
+        worst_case_energy=schedule.energy(),
+    )
+    try:
+        setattr(schedule, _CACHE_ATTR, compiled)
+    except AttributeError:  # pragma: no cover - Schedule has a __dict__ today
+        pass
+    return compiled

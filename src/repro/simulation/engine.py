@@ -18,10 +18,7 @@ tasks and the full execution trace.  Monte-Carlo aggregation lives in
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from ..core.schedule import Schedule
 from ..dag.taskgraph import TaskId
@@ -87,17 +84,38 @@ def simulate_schedule(schedule: Schedule, *, injector: FaultInjector | None = No
     augmented = mapping.augmented_graph()
     exponent = schedule.platform.energy_model.exponent
 
-    remaining_preds = {t: len(augmented.predecessors(t)) for t in graph.tasks()}
+    topo = augmented.topological_order()
     finish_time: dict[TaskId, float] = {}
     processor_free = [0.0] * mapping.num_processors
     trace: list[TraceEvent] = []
     failed_tasks: list[TaskId] = []
     actual_energy = 0.0
 
+    # Draw every failure indicator of this run in one batched RNG call; the
+    # indicator of an attempt that never runs is simply discarded.  The
+    # execution list and offsets are trial-invariant, so they are cached on
+    # the schedule (and the injector caches the probability vector against
+    # the same tuple), leaving only the uniform draws per simulated run.
+    failures = None
+    offset_of: dict[TaskId, int] = {}
+    if injector is not None:
+        plan = getattr(schedule, "_scalar_run_plan", None)
+        if plan is None:
+            run_executions: list = []
+            offsets: dict[TaskId, int] = {}
+            for t in topo:
+                if graph.weight(t) > 0:
+                    offsets[t] = len(run_executions)
+                    run_executions.extend(schedule.decisions[t].executions)
+            plan = (tuple(run_executions), offsets)
+            schedule._scalar_run_plan = plan
+        executions, offset_of = plan
+        failures = injector.sample_failures(executions)
+
     # Tasks are processed in topological order of the augmented graph; since
     # the augmented graph already serialises same-processor tasks, a simple
     # ready-queue in that order is an exact event-driven simulation.
-    for t in augmented.topological_order():
+    for t in topo:
         decision = schedule.decisions[t]
         proc = mapping.processor_of(t)
         ready_at = max((finish_time[p] for p in augmented.predecessors(t)), default=0.0)
@@ -107,7 +125,7 @@ def simulate_schedule(schedule: Schedule, *, injector: FaultInjector | None = No
         for attempt, execution in enumerate(decision.executions):
             if graph.weight(t) <= 0:
                 break
-            failed = injector.sample_failure(execution) if injector is not None else False
+            failed = bool(failures[offset_of[t] + attempt]) if failures is not None else False
             end = clock + execution.duration
             energy = execution.energy(exponent)
             actual_energy += energy

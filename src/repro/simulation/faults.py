@@ -19,13 +19,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..core.reliability import ReliabilityModel
 from ..core.schedule import Execution
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "as_generator"]
+
+
+def as_generator(rng) -> np.random.Generator:
+    """Coerce ``rng`` into a NumPy generator.
+
+    Accepts an existing :class:`numpy.random.Generator` (returned as-is), an
+    integer seed, or ``None`` (fresh OS entropy); every simulation entry
+    point routes its ``rng``/``seed`` argument through this helper so integer
+    seeds work anywhere a generator does.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
 
 
 @dataclass
@@ -50,8 +64,13 @@ class FaultInjector:
 
     def __init__(self, model: ReliabilityModel, rng=None, *, poisson: bool = True):
         self.model = model
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.rng = as_generator(rng)
         self.poisson = poisson
+        # Probability vectors keyed by the identity of the executions tuple:
+        # the scalar engine passes the same (schedule-cached) tuple for every
+        # trial, so the exposures are integrated once per schedule, not once
+        # per simulated run.
+        self._prob_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def exposure(self, execution: Execution) -> float:
@@ -68,6 +87,39 @@ class FaultInjector:
     def sample_failure(self, execution: Execution) -> bool:
         """Draw whether this execution fails."""
         return bool(self.rng.random() < self.failure_probability(execution))
+
+    # ------------------------------------------------------------------
+    # batched forms (one NumPy call for a whole simulated run)
+    # ------------------------------------------------------------------
+    def exposures(self, executions: Sequence[Execution]) -> np.ndarray:
+        """Integrated fault rates of several executions as one array."""
+        return np.fromiter(
+            (self.exposure(e) for e in executions), dtype=float, count=len(executions),
+        )
+
+    def failure_probabilities(self, executions: Sequence[Execution]) -> np.ndarray:
+        """Failure probability of each execution (vectorized counterpart)."""
+        exposure = self.exposures(executions)
+        if self.poisson:
+            return -np.expm1(-exposure)
+        return np.minimum(exposure, 1.0)
+
+    def sample_failures(self, executions: Sequence[Execution]) -> np.ndarray:
+        """Draw all failure indicators for one run in a single RNG call.
+
+        The scalar engine consumes this boolean array instead of drawing one
+        uniform per execution at Python level; entry ``k`` corresponds to
+        ``executions[k]`` regardless of whether that attempt ends up running
+        (unused draws are simply discarded).
+        """
+        if not len(executions):
+            return np.zeros(0, dtype=bool)
+        key = id(executions)
+        entry = self._prob_cache.get(key)
+        if entry is None or entry[0] is not executions:
+            entry = (executions, self.failure_probabilities(executions))
+            self._prob_cache[key] = entry
+        return self.rng.random(len(executions)) < entry[1]
 
     def sample_fault_time(self, execution: Execution) -> float | None:
         """Time (from the execution's start) of the first fault, or ``None``.

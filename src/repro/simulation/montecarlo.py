@@ -17,8 +17,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.schedule import Schedule
+from .batch import simulate_batch
+from .compile import compile_schedule
 from .engine import SimulationResult, simulate_schedule
-from .faults import FaultInjector
+from .faults import FaultInjector, as_generator
 
 __all__ = ["MonteCarloSummary", "run_monte_carlo", "analytic_schedule_reliability"]
 
@@ -62,46 +64,66 @@ def analytic_schedule_reliability(schedule: Schedule, *, poisson: bool = True) -
     With ``poisson=True`` the exact per-execution failure probability
     ``1 - exp(-exposure)`` is used, matching the simulator's default; with
     ``poisson=False`` the paper's first-order expression is used instead.
+
+    The per-execution exposures and the reliability model are taken from the
+    compiled form of the schedule (cached on the schedule instance), so
+    repeated calls cost O(executions) with no ``fault_rate`` recomputation.
     """
-    model = schedule.platform.reliability()
-    total = 1.0
-    for t, decision in schedule.decisions.items():
-        if schedule.graph.weight(t) <= 0:
-            continue
-        failure = 1.0
-        for execution in decision.executions:
-            exposure = sum(float(model.fault_rate(f)) * d for f, d in execution.intervals)
-            p = 1.0 - math.exp(-exposure) if poisson else min(exposure, 1.0)
-            failure *= p
-        total *= 1.0 - failure
-    return total
+    return compile_schedule(schedule).analytic_reliability(poisson=poisson)
 
 
-def run_monte_carlo(schedule: Schedule, trials: int, *, seed: int = 0,
+def run_monte_carlo(schedule: Schedule, trials: int, *, seed=0,
                     poisson: bool = True,
-                    skip_second_execution_on_success: bool = True) -> MonteCarloSummary:
-    """Simulate ``trials`` independent runs of ``schedule`` and aggregate them."""
+                    skip_second_execution_on_success: bool = True,
+                    engine: str = "batch") -> MonteCarloSummary:
+    """Simulate ``trials`` independent runs of ``schedule`` and aggregate them.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed or :class:`numpy.random.Generator`.
+    engine:
+        ``"batch"`` (default) runs all trials at once through the vectorized
+        kernel of :mod:`repro.simulation.batch`; ``"scalar"`` keeps the
+        per-trial walk of :func:`~repro.simulation.engine.simulate_schedule`
+        as a reference oracle.  Both sample the same per-execution failure
+        probabilities, so their summaries agree within statistical tolerance
+        (the random streams differ).
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
-    rng = np.random.default_rng(seed)
-    model = schedule.platform.reliability()
-    injector = FaultInjector(model, rng, poisson=poisson)
-
-    successes = 0
-    energies = np.empty(trials)
-    makespans = np.empty(trials)
-    attempts = np.empty(trials)
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
+    rng = as_generator(seed)
     worst_case = schedule.energy()
-    for k in range(trials):
-        result = simulate_schedule(
-            schedule, injector=injector,
+
+    if engine == "batch":
+        batch = simulate_batch(
+            schedule, trials, rng=rng, poisson=poisson,
             skip_second_execution_on_success=skip_second_execution_on_success,
         )
-        successes += int(result.success)
-        energies[k] = result.energy
-        makespans[k] = result.makespan
-        attempts[k] = result.num_attempts
-    rate = successes / trials
+        rate = batch.success_rate
+        energies = batch.energies
+        makespans = batch.makespans
+        attempts = batch.attempts
+    else:
+        model = schedule.platform.reliability()
+        injector = FaultInjector(model, rng, poisson=poisson)
+        successes = 0
+        energies = np.empty(trials)
+        makespans = np.empty(trials)
+        attempts = np.empty(trials)
+        for k in range(trials):
+            result = simulate_schedule(
+                schedule, injector=injector,
+                skip_second_execution_on_success=skip_second_execution_on_success,
+            )
+            successes += int(result.success)
+            energies[k] = result.energy
+            makespans[k] = result.makespan
+            attempts[k] = result.num_attempts
+        rate = successes / trials
+
     stderr = math.sqrt(max(rate * (1.0 - rate), 1e-12) / trials)
     return MonteCarloSummary(
         trials=trials,

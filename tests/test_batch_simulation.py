@@ -1,0 +1,296 @@
+"""Scalar <-> batch equivalence tests for the vectorized simulation kernel.
+
+The batch engine must be a drop-in replacement for the scalar reference
+oracle: same failure probabilities, same re-execution semantics, same timing
+model.  Because both engines consume the generator stream in the same order
+(one uniform per scheduled execution of a positive-weight task, in augmented
+topological order), matched seeds give *identical* results on these
+instances; the property tests additionally check agreement against the
+analytic model within binomial tolerance so the suite stays robust if the
+stream layouts ever diverge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import ReliabilityModel
+from repro.core.schedule import Execution, Schedule, TaskDecision
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.simulation import (
+    FaultInjector,
+    analytic_schedule_reliability,
+    as_generator,
+    compile_schedule,
+    run_monte_carlo,
+    simulate_batch,
+    simulate_schedule,
+)
+
+
+def make_platform(p=1, lambda0=5e-2, sensitivity=3.0):
+    model = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0,
+                             sensitivity=sensitivity)
+    return Platform(p, ContinuousSpeeds(0.1, 1.0), reliability_model=model)
+
+
+def make_schedule(kind, *, lambda0=5e-2, speed=0.5, reexecute=(), processors=1):
+    """Chain / fork / random-DAG schedules used across the property tests."""
+    if kind == "chain":
+        graph = generators.chain([2.0, 1.0, 3.0, 0.5])
+    elif kind == "fork":
+        graph = generators.fork(3.0, [2.0, 5.0, 1.0])
+    else:
+        graph = generators.random_layered_dag(3, 3, seed=11)
+    platform = make_platform(processors, lambda0=lambda0)
+    if processors == 1:
+        mapping = Mapping.single_processor(graph)
+    else:
+        mapping = critical_path_mapping(graph, processors, fmax=1.0).mapping
+    decisions = {}
+    for t in graph.tasks():
+        w = graph.weight(t)
+        if t in reexecute or reexecute == "all":
+            decisions[t] = TaskDecision.reexecuted(t, w, speed, speed)
+        else:
+            decisions[t] = TaskDecision.single(t, w, speed)
+    return Schedule(mapping, platform, decisions)
+
+
+class TestCompiledSchedule:
+    def test_arrays_match_scalar_quantities(self):
+        schedule = make_schedule("random", reexecute="all", processors=2)
+        comp = compile_schedule(schedule)
+        injector = FaultInjector(schedule.platform.reliability(), rng=0)
+        k = 0
+        for t in comp.order:
+            decision = schedule.decisions[t]
+            for execution in decision.executions:
+                assert comp.exec_duration[k] == pytest.approx(execution.duration)
+                assert comp.exec_energy[k] == pytest.approx(
+                    execution.energy(schedule.platform.energy_model.exponent))
+                assert comp.exec_exposure[k] == pytest.approx(injector.exposure(execution))
+                k += 1
+        assert k == comp.num_executions
+        assert comp.worst_case_energy == pytest.approx(schedule.energy())
+
+    def test_topological_predecessor_structure(self):
+        schedule = make_schedule("random", processors=3)
+        comp = compile_schedule(schedule)
+        for i in range(comp.num_tasks):
+            assert all(j < i for j in comp.predecessors_of(i))
+
+    def test_compile_is_memoised(self):
+        schedule = make_schedule("chain")
+        assert compile_schedule(schedule) is compile_schedule(schedule)
+
+    def test_zero_weight_tasks_have_no_executions(self):
+        graph = generators.chain([2.0, 0.0, 3.0])
+        platform = make_platform()
+        mapping = Mapping.single_processor(graph)
+        schedule = Schedule.from_speeds(mapping, platform,
+                                        {t: 0.5 for t in graph.tasks()})
+        comp = compile_schedule(schedule)
+        assert comp.num_executions == 2
+        assert list(comp.execution_counts) == [1, 0, 1]
+
+    def test_analytic_reliability_matches_legacy_product(self):
+        for poisson in (True, False):
+            schedule = make_schedule("fork", reexecute=("T1",))
+            model = schedule.platform.reliability()
+            expected = 1.0
+            for t, decision in schedule.decisions.items():
+                if schedule.graph.weight(t) <= 0:
+                    continue
+                failure = 1.0
+                for e in decision.executions:
+                    exposure = sum(float(model.fault_rate(f)) * d for f, d in e.intervals)
+                    failure *= (1.0 - math.exp(-exposure)) if poisson else min(exposure, 1.0)
+                expected *= 1.0 - failure
+            assert analytic_schedule_reliability(schedule, poisson=poisson) == \
+                pytest.approx(expected)
+
+
+class TestScalarBatchEquivalence:
+    @pytest.mark.parametrize("kind", ["chain", "fork", "random"])
+    @pytest.mark.parametrize("poisson", [True, False])
+    def test_summaries_agree_within_binomial_tolerance(self, kind, poisson):
+        trials = 2500
+        reexec = ("T1", "T2") if kind != "random" else "all"
+        processors = 2 if kind == "random" else 1
+        scalar = run_monte_carlo(
+            make_schedule(kind, reexecute=reexec, processors=processors),
+            trials, seed=5, poisson=poisson, engine="scalar")
+        batch = run_monte_carlo(
+            make_schedule(kind, reexecute=reexec, processors=processors),
+            trials, seed=5, poisson=poisson, engine="batch")
+        p = scalar.analytic_reliability
+        tol = 6.0 * math.sqrt(max(p * (1.0 - p), 1e-12) * 2.0 / trials) + 1e-9
+        assert abs(batch.success_rate - scalar.success_rate) <= tol
+        assert batch.analytic_reliability == pytest.approx(scalar.analytic_reliability)
+        assert batch.mean_energy == pytest.approx(scalar.mean_energy, rel=0.05, abs=1e-9)
+        assert batch.mean_makespan == pytest.approx(scalar.mean_makespan, rel=0.05)
+        assert batch.mean_attempts == pytest.approx(scalar.mean_attempts, rel=0.05)
+        assert batch.within_confidence() and scalar.within_confidence()
+
+    @pytest.mark.parametrize("skip", [True, False])
+    def test_matched_seed_exact_equality(self, skip):
+        # Both engines draw one uniform per scheduled execution in augmented
+        # topological order, so the fault matrices -- and therefore every
+        # aggregate -- are bit-identical for a matched seed.
+        trials = 400
+        for kind in ("chain", "fork"):
+            scalar = run_monte_carlo(make_schedule(kind, reexecute="all"),
+                                     trials, seed=13, engine="scalar",
+                                     skip_second_execution_on_success=skip)
+            batch = run_monte_carlo(make_schedule(kind, reexecute="all"),
+                                    trials, seed=13, engine="batch",
+                                    skip_second_execution_on_success=skip)
+            assert batch.success_rate == scalar.success_rate
+            assert batch.mean_energy == pytest.approx(scalar.mean_energy, rel=1e-12)
+            assert batch.mean_makespan == pytest.approx(scalar.mean_makespan, rel=1e-12)
+            assert batch.mean_attempts == scalar.mean_attempts
+
+    def test_fault_free_batch_matches_analytic_schedule(self):
+        schedule = make_schedule("random", lambda0=0.0, reexecute="all", processors=2)
+        result = simulate_batch(schedule, 50, rng=0,
+                                skip_second_execution_on_success=False)
+        assert result.successes.all()
+        assert result.makespans == pytest.approx(np.full(50, schedule.makespan()))
+        assert result.energies == pytest.approx(np.full(50, schedule.energy()))
+
+    def test_fault_free_skip_mode_matches_scalar_run(self):
+        schedule = make_schedule("chain", lambda0=0.0, reexecute="all")
+        reference = simulate_schedule(schedule)
+        result = simulate_batch(schedule, 10, rng=0)
+        assert result.makespans == pytest.approx(np.full(10, reference.makespan))
+        assert result.energies == pytest.approx(np.full(10, reference.energy))
+        assert result.attempts.tolist() == [reference.num_attempts] * 10
+
+    def test_certain_failure(self):
+        schedule = make_schedule("chain", lambda0=1e6)
+        result = simulate_batch(schedule, 20, rng=0)
+        assert not result.successes.any()
+        assert result.success_rate == 0.0
+
+    def test_zero_weight_tasks_succeed_and_cost_nothing(self):
+        graph = generators.chain([2.0, 0.0, 3.0])
+        platform = make_platform(lambda0=0.0)
+        schedule = Schedule.from_speeds(Mapping.single_processor(graph), platform,
+                                        {t: 0.5 for t in graph.tasks()})
+        result = simulate_batch(schedule, 5, rng=0)
+        reference = simulate_schedule(schedule)
+        assert result.successes.all()
+        assert result.attempts.tolist() == [reference.num_attempts] * 5
+        assert result.makespans == pytest.approx(np.full(5, reference.makespan))
+
+    def test_multi_interval_executions(self):
+        # VDD-hopping style executions with several constant-speed intervals.
+        graph = generators.chain([2.0, 1.0])
+        platform = make_platform(lambda0=5e-2)
+        mapping = Mapping.single_processor(graph)
+        decisions = {
+            "T0": TaskDecision("T0", (Execution.from_intervals([(0.5, 2.0), (1.0, 1.0)]),)),
+            "T1": TaskDecision("T1", (Execution.from_intervals([(0.4, 1.0), (0.6, 1.0)]),
+                                      Execution.at_speed(1.0, 1.0))),
+        }
+        schedule = Schedule(mapping, platform, decisions)
+        trials = 3000
+        scalar = run_monte_carlo(schedule, trials, seed=3, engine="scalar")
+        batch = run_monte_carlo(schedule, trials, seed=3, engine="batch")
+        assert batch.success_rate == pytest.approx(scalar.success_rate, abs=0.05)
+        assert batch.within_confidence() and scalar.within_confidence()
+
+
+class TestMonteCarloEngineSwitch:
+    def test_unknown_engine_rejected(self):
+        schedule = make_schedule("chain")
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_monte_carlo(schedule, 10, engine="gpu")
+
+    def test_batch_is_default(self):
+        schedule = make_schedule("chain", lambda0=0.0)
+        summary = run_monte_carlo(schedule, 10)
+        assert summary.success_rate == 1.0
+
+    def test_seed_accepts_generator(self):
+        schedule = make_schedule("chain")
+        a = run_monte_carlo(schedule, 200, seed=np.random.default_rng(42))
+        b = run_monte_carlo(schedule, 200, seed=42)
+        assert a.success_rate == b.success_rate
+
+    def test_batch_deterministic_per_seed(self):
+        schedule = make_schedule("fork", reexecute="all")
+        a = simulate_batch(schedule, 300, rng=9)
+        b = simulate_batch(schedule, 300, rng=9)
+        assert np.array_equal(a.successes, b.successes)
+        assert np.array_equal(a.energies, b.energies)
+        assert np.array_equal(a.makespans, b.makespans)
+
+    def test_trials_validation(self):
+        schedule = make_schedule("chain")
+        with pytest.raises(ValueError):
+            simulate_batch(schedule, 0)
+
+
+class TestBatchedFaultInjector:
+    def test_sample_failures_one_vector(self):
+        schedule = make_schedule("chain", reexecute="all")
+        executions = [e for d in schedule.decisions.values() for e in d.executions]
+        model = schedule.platform.reliability()
+        flags = FaultInjector(model, rng=0).sample_failures(executions)
+        assert flags.dtype == bool and flags.shape == (len(executions),)
+        # Matches per-execution draws against the same uniform stream.
+        manual = np.random.default_rng(0).random(len(executions))
+        probs = FaultInjector(model, rng=0).failure_probabilities(executions)
+        assert np.array_equal(flags, manual < probs)
+
+    def test_failure_probabilities_match_scalar(self):
+        schedule = make_schedule("fork", reexecute="all")
+        executions = [e for d in schedule.decisions.values() for e in d.executions]
+        for poisson in (True, False):
+            injector = FaultInjector(schedule.platform.reliability(), rng=0,
+                                     poisson=poisson)
+            vector = injector.failure_probabilities(executions)
+            for k, e in enumerate(executions):
+                assert vector[k] == pytest.approx(injector.failure_probability(e))
+
+    def test_empty_sequence(self):
+        injector = FaultInjector(ReliabilityModel(fmin=0.1, fmax=1.0), rng=0)
+        assert injector.sample_failures([]).shape == (0,)
+
+    def test_as_generator_coercion(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+        assert isinstance(as_generator(3), np.random.Generator)
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestScheduleMemoisation:
+    def test_derived_quantities_cached(self):
+        schedule = make_schedule("random", processors=2)
+        assert schedule.makespan() == schedule.makespan()
+        assert "makespan" in schedule._derived_cache
+        assert "durations" in schedule._derived_cache
+        schedule.energy()
+        assert "energy" in schedule._derived_cache
+
+    def test_returned_dicts_are_copies(self):
+        schedule = make_schedule("chain")
+        d = schedule.durations()
+        d.clear()
+        assert schedule.durations()  # cache unaffected by caller mutation
+        start, finish = schedule.start_finish_times()
+        start.clear()
+        assert schedule.start_finish_times()[0]
+
+    def test_task_durations_alias(self):
+        schedule = make_schedule("chain")
+        assert schedule.task_durations() == schedule.durations()
