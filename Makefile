@@ -1,14 +1,15 @@
 # Convenience targets for the reproduction repo.
 #
-#   make test   - tier-1 test suite (the gate every PR must keep green)
-#   make smoke  - reduced-trial smoke of the simulation perf path
-#   make bench  - full benchmark/experiment suite (writes BENCH_simulation.json)
-#   make check  - test + smoke: what CI runs on every PR
+#   make test           - tier-1 test suite (the gate every PR must keep green)
+#   make smoke          - reduced-trial smoke of the simulation perf path
+#   make campaign-smoke - every E1-E12 scenario through the campaign runner
+#   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
+#   make check          - test + smoke + campaign-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench check
+.PHONY: test smoke campaign-smoke bench check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,9 +19,13 @@ smoke:
 		benchmarks/bench_batch_simulation.py \
 		benchmarks/bench_e11_reliability_simulation.py -q -s
 
+campaign-smoke:
+	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 \
+		$(PYTHON) -m repro campaign all --smoke --jobs 2
+
 # bench_*.py does not match pytest's default test_*.py discovery glob, so the
 # files are passed explicitly (shell glob) rather than as a directory.
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: test smoke
+check: test smoke campaign-smoke

@@ -1,0 +1,94 @@
+"""Wall-clock harness for the campaign orchestration subsystem.
+
+Runs the built-in ``all`` campaign at smoke size four ways -- cold cache
+serially, cold cache with worker processes, then warm-cache repeats of both
+-- and records the timings to ``BENCH_campaign.json`` at the repository
+root, so successive PRs can compare orchestration overhead.  Also asserts
+the subsystem's acceptance properties: a warm re-run serves *every*
+instance from cache with identical result records, and the orchestration
+layers add no meaningful overhead on a warm cache.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign.py -q -s
+
+``REPRO_CAMPAIGN_JOBS`` picks the parallel worker count (default 2, the CI
+setting); the smoke trial counts honour ``REPRO_E11_TRIALS`` and
+``REPRO_BENCH_TRIALS`` like the rest of the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    ResultCache,
+    all_scenarios_campaign,
+    expand_campaign,
+    run_campaign,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+JOBS = int(os.environ.get("REPRO_CAMPAIGN_JOBS", "2"))
+
+
+def _timed_run(instances, *, jobs, cache, refresh=False):
+    t0 = time.perf_counter()
+    outcome = run_campaign(instances, jobs=jobs, cache=cache, refresh=refresh)
+    return time.perf_counter() - t0, outcome
+
+
+def test_campaign_serial_vs_parallel_and_cold_vs_warm(tmp_path):
+    instances = expand_campaign(all_scenarios_campaign(), smoke=True)
+    n = len(instances)
+
+    serial_cache = ResultCache(tmp_path / "serial")
+    parallel_cache = ResultCache(tmp_path / "parallel")
+
+    cold_serial, out_cold_serial = _timed_run(instances, jobs=1,
+                                              cache=serial_cache)
+    cold_parallel, out_cold_parallel = _timed_run(instances, jobs=JOBS,
+                                                  cache=parallel_cache)
+    warm_serial, out_warm_serial = _timed_run(instances, jobs=1,
+                                              cache=serial_cache)
+    warm_parallel, out_warm_parallel = _timed_run(instances, jobs=JOBS,
+                                                  cache=parallel_cache)
+
+    # Cold runs executed everything; warm re-runs are pure cache reads.
+    for outcome in (out_cold_serial, out_cold_parallel):
+        assert outcome.errors == 0
+        assert (outcome.hits, outcome.misses) == (0, n)
+    for outcome in (out_warm_serial, out_warm_parallel):
+        assert outcome.errors == 0
+        assert (outcome.hits, outcome.misses) == (n, 0)
+
+    # The warm records are byte-identical to what the cold run produced.
+    for cold, warm in zip(out_cold_serial.results, out_warm_serial.results):
+        assert cold.key == warm.key
+        assert cold.record == warm.record
+
+    # Warm-cache orchestration is near-instant next to any cold run.
+    assert warm_serial < max(0.25 * cold_serial, 0.5)
+    assert warm_parallel < max(0.25 * cold_parallel, 0.5)
+
+    record = {
+        "benchmark": f"python -m repro campaign all --smoke ({n} scenarios)",
+        "jobs": JOBS,
+        "cold_serial_seconds": round(cold_serial, 3),
+        "cold_parallel_seconds": round(cold_parallel, 3),
+        "warm_serial_seconds": round(warm_serial, 3),
+        "warm_parallel_seconds": round(warm_parallel, 3),
+        "parallel_speedup": round(cold_serial / cold_parallel, 2)
+        if cold_parallel > 0 else None,
+        "warm_speedup_vs_cold_serial": round(cold_serial / warm_serial, 1)
+        if warm_serial > 0 else None,
+        "instances": n,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\ncampaign all --smoke: cold serial {cold_serial:.2f}s, "
+          f"cold --jobs {JOBS} {cold_parallel:.2f}s, warm serial "
+          f"{warm_serial:.3f}s, warm --jobs {JOBS} {warm_parallel:.3f}s; "
+          f"recorded to {BENCH_PATH.name}")

@@ -12,16 +12,16 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.experiments import (
-    mixed_suite,
-    print_table,
-    run_vdd_rounding_experiment,
-)
+from repro.campaign import get_scenario
+from repro.experiments import mixed_suite, print_table
+
+SCENARIO = get_scenario("e10-vdd-rounding")
 
 
 def test_e10_vdd_adaptation_loss(run_once):
-    specs = mixed_suite(seed=43)[:4]
-    rows = run_once(run_vdd_rounding_experiment, specs=specs, mode_counts=(3, 5, 9))
+    # The timed table uses the first four suite instances (chains + forks);
+    # the campaign default sweeps the whole mixed suite.
+    rows = run_once(SCENARIO.run, specs=mixed_suite(seed=43)[:4])
     print_table(rows, title="E10: continuous -> VDD-HOPPING adaptation loss")
     for row in rows:
         assert row["feasible"]

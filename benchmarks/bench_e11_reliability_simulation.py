@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import os
 
-from repro.experiments import print_table, run_reliability_simulation_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e11-reliability-simulation")
 
 #: CI smoke runs set this to a small value (e.g. 500); the qualitative
 #: assertions below are robust down to a few hundred trials.
@@ -26,8 +29,7 @@ TRIALS = int(os.environ.get("REPRO_E11_TRIALS", "4000"))
 
 
 def test_e11_reliability_energy_tradeoff(run_once):
-    rows = run_once(run_reliability_simulation_experiment,
-                    chain_size=8, speed_fractions=(1.0, 0.8, 0.6, 0.4), trials=TRIALS)
+    rows = run_once(SCENARIO.run, trials=TRIALS)
     print_table(rows, title="E11: Monte-Carlo reliability vs analytic model")
     assert all(row["analytic_within_confidence"] for row in rows)
     # Reliability decreases as the speed decreases (single execution).

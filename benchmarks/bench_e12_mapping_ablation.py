@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import math
 
-from repro.experiments import print_table, run_mapping_ablation_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e12-mapping-ablation")
 
 
 def test_e12_mapping_choice_impacts_energy(run_once):
-    rows = run_once(run_mapping_ablation_experiment,
-                    shapes=((4, 4), (5, 4)), num_processors=4, slack=1.8)
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E12: mapping-heuristic ablation (energy after speed scaling)")
     cp_rows = [r for r in rows if r["mapping"] == "critical_path"]
     assert all(r["feasible"] for r in cp_rows)

@@ -10,15 +10,16 @@ program across fork widths and deadline slacks.
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_fork_closed_form_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e1-fork-closed-form")
 
 
 def test_e1_fork_closed_form_matches_convex(run_once):
-    rows = run_once(run_fork_closed_form_experiment,
-                    sizes=(2, 4, 8, 16, 32), slacks=(1.2, 2.0, 4.0))
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E1: fork closed form vs numerical convex optimum",
-                columns=["children", "slack", "formula_energy", "closed_form_energy",
-                         "convex_energy", "relative_gap", "route"])
+                columns=list(SCENARIO.columns))
     assert len(rows) == 15
     for row in rows:
         # The dispatcher used the closed form and the convex solver agrees.

@@ -8,12 +8,14 @@ program must agree on random SP graphs of growing size.
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_series_parallel_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e2-series-parallel")
 
 
 def test_e2_series_parallel_closed_form_matches_convex(run_once):
-    rows = run_once(run_series_parallel_experiment,
-                    sizes=(4, 8, 12, 16), slacks=(1.5, 3.0))
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E2: series-parallel equivalent-weight recursion vs convex")
     assert len(rows) == 8
     for row in rows:

@@ -9,12 +9,14 @@ at ``fmax``.
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_convex_dag_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e3-convex-dag")
 
 
 def test_e3_convex_dag_beats_local_baselines(run_once):
-    rows = run_once(run_convex_dag_experiment,
-                    shapes=((3, 3), (4, 4), (5, 4)), num_processors=4, slack=1.8)
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E3: global convex optimum vs baselines on mapped DAGs")
     for row in rows:
         assert row["lower_bound"] <= row["convex_energy"] * (1 + 1e-6)

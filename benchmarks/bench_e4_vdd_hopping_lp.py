@@ -13,12 +13,14 @@ Claims reproduced:
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_vdd_lp_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e4-vdd-lp")
 
 
 def test_e4_vdd_hopping_lp(run_once):
-    rows = run_once(run_vdd_lp_experiment, chain_sizes=(5, 10, 20), include_dag=True,
-                    compare_backends=True)
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E4: VDD-HOPPING LP vs continuous bound vs discrete optimum")
     for row in rows:
         assert row["vdd_over_continuous"] >= 1.0 - 1e-9

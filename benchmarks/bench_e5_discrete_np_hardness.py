@@ -12,15 +12,14 @@ Claims reproduced executably:
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_np_hardness_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e5-np-hardness")
 
 
 def test_e5_np_hardness_reduction_and_scaling(run_once):
-    out = run_once(run_np_hardness_experiment,
-                   partition_instances=((3, 1, 1, 2, 2, 1), (5, 5, 4, 3, 2, 1),
-                                        (7, 3, 2, 2, 1, 1), (8, 6, 5, 4),
-                                        (9, 7, 5, 3, 1), (2, 2, 2, 2)),
-                   scaling_sizes=(4, 6, 8, 10, 12), lp_sizes=(4, 8, 16, 32, 64))
+    out = run_once(SCENARIO.run)
     print_table(out["reduction_rows"],
                 title="E5a: 2-PARTITION -> BI-CRIT DISCRETE reduction",
                 columns=["instance", "optimal_energy", "energy_budget",

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.experiments import print_table, run_incremental_approx_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e6-incremental-approx")
 
 
 def test_e6_incremental_approximation_factor(run_once):
-    rows = run_once(run_incremental_approx_experiment,
-                    deltas=(0.05, 0.1, 0.2, 0.3), Ks=(None, 2, 5),
-                    chain_size=10, include_dag=True)
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E6: INCREMENTAL approximation ratio vs guaranteed factor")
     assert all(row["within_bound"] for row in rows)
     # Smaller delta => better ratio (monotone trend on the exact-relaxation rows).

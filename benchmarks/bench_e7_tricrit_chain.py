@@ -13,12 +13,14 @@ Claims reproduced:
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_tricrit_chain_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e7-tricrit-chain")
 
 
 def test_e7_chain_strategy_optimal(run_once):
-    rows = run_once(run_tricrit_chain_experiment,
-                    sizes=(4, 6, 8, 10), slacks=(2.0, 3.0))
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E7: TRI-CRIT chain - greedy strategy vs exhaustive optimum")
     for row in rows:
         assert row["greedy_over_exact"] <= 1.05

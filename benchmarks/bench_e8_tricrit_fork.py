@@ -8,12 +8,14 @@ several deadline slacks.
 
 from __future__ import annotations
 
-from repro.experiments import print_table, run_tricrit_fork_experiment
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e8-tricrit-fork")
 
 
 def test_e8_fork_polynomial_algorithm_is_exact(run_once):
-    rows = run_once(run_tricrit_fork_experiment,
-                    sizes=(2, 3, 4, 6), slacks=(2.0, 3.0))
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E8: TRI-CRIT fork - polynomial algorithm vs brute force")
     for row in rows:
         assert abs(row["poly_over_brute"] - 1.0) < 1e-3

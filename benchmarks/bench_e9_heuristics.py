@@ -14,16 +14,14 @@ instances:
 
 from __future__ import annotations
 
-from repro.experiments import (
-    mixed_suite,
-    print_table,
-    run_heuristic_comparison_experiment,
-)
+from repro.campaign import get_scenario
+from repro.experiments import print_table
+
+SCENARIO = get_scenario("e9-heuristics")
 
 
 def test_e9_heuristic_families_are_complementary(run_once):
-    rows = run_once(run_heuristic_comparison_experiment, specs=mixed_suite(seed=41),
-                    include_reference=True)
+    rows = run_once(SCENARIO.run)
     print_table(rows, title="E9: TRI-CRIT heuristics across DAG classes")
     for row in rows:
         assert row["best_of"] <= row["energy_gain_h"] + 1e-9

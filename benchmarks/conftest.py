@@ -1,11 +1,11 @@
 """Shared helpers for the benchmark/experiment harness.
 
-Every module under ``benchmarks/`` reproduces one experiment of the
-per-experiment index in ``DESIGN.md`` (E1-E12).  Each test
+Every module under ``benchmarks/`` reproduces one experiment of the index
+E1-E12 (tabulated in the root ``README.md``).  Each test
 
-* runs the corresponding ``repro.experiments.run_*`` function once (timed
-  with ``benchmark.pedantic`` so pytest-benchmark reports the cost of
-  regenerating the experiment),
+* runs the corresponding campaign-registry scenario once (timed with
+  ``benchmark.pedantic`` so pytest-benchmark reports the cost of
+  regenerating the experiment table),
 * prints the resulting rows as an ASCII table -- the output of
   ``pytest benchmarks/ --benchmark-only -s`` is the reproduction record
   summarised in ``EXPERIMENTS.md``,

@@ -35,15 +35,16 @@ NUM_PROCESSORS = 2
 DEADLINE_SLACKS = (1.15, 1.4, 1.8, 2.5)
 
 
-def main() -> None:
-    graph = generators.stencil_1d(width=3, steps=3, weight=2.0)
+def main(*, width: int = 3, steps: int = 3,
+         deadline_slacks: tuple[float, ...] = DEADLINE_SLACKS) -> None:
+    graph = generators.stencil_1d(width=width, steps=steps, weight=2.0)
     listing = critical_path_mapping(graph, NUM_PROCESSORS, fmax=1.0)
     print(f"stencil DAG: {graph.num_tasks} tasks, mapped on {NUM_PROCESSORS} "
           f"processors, fmax makespan {listing.makespan:.2f}")
     print(f"XScale speed set: {INTEL_XSCALE_SPEEDS}")
 
     rows = []
-    for slack in DEADLINE_SLACKS:
+    for slack in deadline_slacks:
         deadline = slack * listing.makespan
 
         def problem(speed_model):

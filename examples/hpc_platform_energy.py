@@ -42,25 +42,26 @@ MODES = [0.25, 0.5, 0.75, 1.0]          # normalised DVFS operating points
 DEADLINE_SLACK = 1.6
 
 
-def main() -> None:
-    # The application: 4 BSP phases of width 6 with random phase weights.
-    graph = generators.phase_fork_join(num_phases=4, width=6, seed=2024)
+def main(*, num_phases: int = 4, width: int = 6,
+         num_processors: int = NUM_PROCESSORS) -> None:
+    # The application: BSP phases of the given width with random phase weights.
+    graph = generators.phase_fork_join(num_phases=num_phases, width=width, seed=2024)
     print(f"application: {graph.num_tasks} tasks, total work "
           f"{graph.total_weight():.1f}, critical path {graph.critical_path_weight():.1f}")
 
     # Mapping by critical-path list scheduling at fmax (the paper's choice).
-    listing = critical_path_mapping(graph, NUM_PROCESSORS, fmax=1.0)
+    listing = critical_path_mapping(graph, num_processors, fmax=1.0)
     deadline = DEADLINE_SLACK * listing.makespan
-    print(f"mapped on {NUM_PROCESSORS} processors: fmax makespan {listing.makespan:.2f}, "
+    print(f"mapped on {num_processors} processors: fmax makespan {listing.makespan:.2f}, "
           f"deadline {deadline:.2f}")
 
     def problem(speed_model) -> BiCritProblem:
-        return BiCritProblem(listing.mapping, Platform(NUM_PROCESSORS, speed_model),
+        return BiCritProblem(listing.mapping, Platform(num_processors, speed_model),
                              deadline)
 
     rows = []
 
-    continuous_platform = Platform(NUM_PROCESSORS, VddHoppingSpeeds(MODES)).continuous_twin()
+    continuous_platform = Platform(num_processors, VddHoppingSpeeds(MODES)).continuous_twin()
     continuous_problem = BiCritProblem(listing.mapping, continuous_platform, deadline)
     reference = no_dvfs(continuous_problem).energy
 

@@ -27,18 +27,20 @@ from repro.discrete import solve_bicrit_vdd_lp
 from repro.platform import Mapping, Platform
 
 
-def main() -> None:
+def main(*, child_weights: list[float] = (2.0, 5.0, 1.0, 4.0)) -> None:
     # ------------------------------------------------------------------
-    # 1. Application: a fork graph T0 -> {T1..T4} with computation weights.
+    # 1. Application: a fork graph T0 -> {T1..Tn} with computation weights.
     # ------------------------------------------------------------------
-    graph = generators.fork(source_weight=3.0, child_weights=[2.0, 5.0, 1.0, 4.0])
+    child_weights = list(child_weights)
+    graph = generators.fork(source_weight=3.0, child_weights=child_weights)
     print(f"task graph: {graph}")
     print(f"critical path weight: {graph.critical_path_weight():.2f}")
 
     # ------------------------------------------------------------------
-    # 2. Platform and mapping: 5 processors, continuous speeds in [0.1, 2].
+    # 2. Platform and mapping: one processor per task, speeds in [0.1, 2].
     # ------------------------------------------------------------------
-    platform = Platform(5, ContinuousSpeeds(0.1, 2.0))
+    num_processors = len(child_weights) + 1
+    platform = Platform(num_processors, ContinuousSpeeds(0.1, 2.0))
     mapping = Mapping.one_task_per_processor(graph)
 
     # ------------------------------------------------------------------
@@ -49,7 +51,7 @@ def main() -> None:
     schedule = result.require_schedule()
     print(f"\nsolver route       : {result.solver}")
     print(f"optimal energy     : {result.energy:.4f}")
-    print(f"paper's formula    : {fork_energy(3.0, [2.0, 5.0, 1.0, 4.0], 6.0):.4f}")
+    print(f"paper's formula    : {fork_energy(3.0, child_weights, 6.0):.4f}")
     print(f"achieved makespan  : {schedule.makespan():.4f}  (deadline 6.0)")
     print("per-task speeds    :")
     for task, speeds in sorted(schedule.speed_assignment().items()):
@@ -66,7 +68,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 5. Same instance under VDD-HOPPING with 5 discrete modes (Section IV LP).
     # ------------------------------------------------------------------
-    vdd_platform = Platform(5, VddHoppingSpeeds([0.4, 0.8, 1.2, 1.6, 2.0]))
+    vdd_platform = Platform(num_processors, VddHoppingSpeeds([0.4, 0.8, 1.2, 1.6, 2.0]))
     vdd_problem = BiCritProblem(mapping, vdd_platform, deadline=6.0)
     vdd_result = solve_bicrit_vdd_lp(vdd_problem)
     print(f"\nVDD-HOPPING energy : {vdd_result.energy:.4f} "

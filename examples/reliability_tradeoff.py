@@ -44,8 +44,8 @@ LAMBDA0 = 1e-4          # fault rate at fmax (per time unit)
 SENSITIVITY = 4.0       # how sharply the fault rate grows when slowing down
 
 
-def main() -> None:
-    graph = generators.random_layered_dag(3, 3, seed=7, low=2.0, high=8.0)
+def main(*, layers: int = 3, width: int = 3, trials: int = 20000) -> None:
+    graph = generators.random_layered_dag(layers, width, seed=7, low=2.0, high=8.0)
     reliability = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=LAMBDA0,
                                    sensitivity=SENSITIVITY)
     platform = Platform(NUM_PROCESSORS, ContinuousSpeeds(0.1, 1.0),
@@ -78,8 +78,8 @@ def main() -> None:
     print_table(rows, title="\nTRI-CRIT solutions (deadline and reliability enforced)")
 
     chosen = solutions["best of A/B"].require_schedule()
-    mc = run_monte_carlo(chosen, trials=20000, seed=1)
-    print("\nMonte-Carlo validation of the chosen schedule (20000 runs):")
+    mc = run_monte_carlo(chosen, trials=trials, seed=1)
+    print(f"\nMonte-Carlo validation of the chosen schedule ({trials} runs):")
     print(f"  analytic reliability : {mc.analytic_reliability:.6f}")
     print(f"  simulated success    : {mc.success_rate:.6f} "
           f"(+/- {2 * mc.success_stderr:.6f})")

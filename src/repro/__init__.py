@@ -26,14 +26,16 @@ Quick start::
     result = solve_bicrit_continuous(problem)
     print(result.energy, result.schedule.makespan())
 
-See ``README.md`` for an overview, ``DESIGN.md`` for the system inventory
-and ``EXPERIMENTS.md`` for the paper-claim-by-claim reproduction record.
+See ``README.md`` for an overview, the experiment index E1-E12 and the
+``python -m repro`` campaign CLI, and ``PERFORMANCE.md`` for the performance
+notes on the batch simulation kernel and the campaign runner.
 """
 
 from __future__ import annotations
 
 from . import (
     baselines,
+    campaign,
     complexity,
     continuous,
     core,
@@ -76,6 +78,7 @@ __all__ = [
     "simulation",
     "baselines",
     "experiments",
+    "campaign",
     # most-used classes re-exported at the top level
     "TaskGraph",
     "Platform",

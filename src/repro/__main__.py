@@ -1,0 +1,10 @@
+"""``python -m repro`` -- the campaign orchestration command line."""
+
+from __future__ import annotations
+
+import sys
+
+from .campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

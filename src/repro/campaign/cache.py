@@ -1,0 +1,152 @@
+"""Content-addressed result cache for campaign runs.
+
+Every scenario instance is keyed by a stable SHA-256 hash of its
+canonicalised configuration (scenario name + effective keyword parameters)
+plus a code-relevant version tag (the library version and the scenario's
+``cache_version``).  Records are JSON files under ``.repro-cache/`` (or
+``$REPRO_CACHE_DIR``), so re-running a campaign whose code and parameters
+did not change is a pure disk read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["ResultCache", "canonicalize", "instance_key", "make_record",
+           "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump when the record layout itself changes (invalidates every entry).
+_SCHEMA_VERSION = 1
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce a parameter/result value to a canonical JSON-compatible form.
+
+    Tuples and lists collapse to lists, mappings to plain dicts with string
+    keys (insertion order preserved -- key hashing sorts independently, and
+    stored result rows keep their column order), numpy scalars/arrays to
+    their Python equivalents.  Two configurations that compare equal after
+    canonicalisation hash to the same cache key regardless of the container
+    types used to express them.
+    """
+    if isinstance(value, (str, bool, int, type(None))):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.generic):
+        return canonicalize(value.item())
+    if isinstance(value, np.ndarray):
+        return [canonicalize(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [canonicalize(v) for v in items]
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} value {value!r} "
+                    "for the result cache")
+
+
+def _version_tag(cache_version: int) -> str:
+    from .. import __version__  # deferred: repro/__init__ imports this package
+
+    return f"repro-{__version__}/schema-{_SCHEMA_VERSION}/scenario-{cache_version}"
+
+
+def instance_key(scenario: str, params: Mapping[str, Any], *,
+                 cache_version: int = 1) -> str:
+    """Stable content hash of one scenario configuration."""
+    payload = {
+        "scenario": scenario,
+        "params": canonicalize(params),
+        "version": _version_tag(cache_version),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON-file result store addressed by :func:`instance_key` hashes."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+
+    # -- addressing ----------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- read ----------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Return the cached record for ``key``, or None on a miss.
+
+        Unreadable/corrupt entries count as misses (the record will simply
+        be recomputed and rewritten).
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        # ValueError covers JSONDecodeError and the UnicodeDecodeError a
+        # torn write can leave behind.
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+
+    def records(self) -> Iterator[dict]:
+        """All readable records in the cache, in file-name (key) order."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    yield json.load(fh)
+            except (ValueError, OSError):
+                continue
+
+    # -- write ---------------------------------------------------------
+    def put(self, key: str, record: Mapping[str, Any]) -> Path:
+        """Write ``record`` under ``key`` (atomically via a temp file)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1)
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0
+
+
+def make_record(*, key: str, scenario: str, params: Mapping[str, Any],
+                result: Any, elapsed_seconds: float,
+                cache_version: int = 1) -> dict:
+    """Assemble the JSON record stored for one executed instance."""
+    return {
+        "key": key,
+        "scenario": scenario,
+        "params": canonicalize(params),
+        "version": _version_tag(cache_version),
+        "created_unix": time.time(),
+        "elapsed_seconds": elapsed_seconds,
+        "result": canonicalize(result),
+    }

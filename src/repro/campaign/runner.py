@@ -1,0 +1,214 @@
+"""Parallel campaign executor with cache integration and progress streaming.
+
+``run_campaign`` takes the expanded instance list, resolves every instance
+against the content-addressed :class:`~repro.campaign.cache.ResultCache`,
+and executes the misses -- serially for ``jobs=1`` (and as a hard fallback
+when no process pool can be created, e.g. in restricted sandboxes), or on a
+``concurrent.futures.ProcessPoolExecutor`` for ``jobs>1``.  For scenarios
+flagged ``deterministic`` (all but E5, whose scaling probes embed wall-clock
+measurements) results are pure functions of the instance parameters, so
+``--jobs 1`` and ``--jobs N`` produce identical result payloads (the
+``result`` field of the cached records; the timing metadata around it
+naturally differs between runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .cache import ResultCache, instance_key, make_record
+from .registry import get_scenario
+from .spec import ScenarioInstance
+
+__all__ = ["InstanceResult", "CampaignResult", "resolve_jobs", "run_campaign"]
+
+
+@dataclass
+class InstanceResult:
+    """Outcome of one scenario instance in a campaign run."""
+
+    instance: ScenarioInstance
+    key: str
+    record: dict | None         # the cache record (None only on error)
+    cached: bool                # served from the result cache
+    elapsed_seconds: float      # 0.0 for cache hits
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a campaign run."""
+
+    name: str
+    results: list[InstanceResult] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.results if not r.cached and r.ok)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    def summary(self) -> str:
+        n = len(self.results)
+        return (f"campaign {self.name!r}: {n} instances, "
+                f"{self.hits}/{n} cache hits, {self.misses} executed, "
+                f"{self.errors} errors, {self.wall_seconds:.2f}s wall "
+                f"(jobs={self.jobs})")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else 1 (serial)."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _execute(scenario_name: str, params: dict) -> tuple[Any, float]:
+    """Run one instance, timing the execution itself (not any queue wait).
+
+    Module-level so it pickles into worker processes; the elapsed seconds
+    are measured here so serial and parallel runs record the same quantity.
+    """
+    t0 = time.perf_counter()
+    result = get_scenario(scenario_name).runner(**params)
+    return result, time.perf_counter() - t0
+
+
+def run_campaign(instances: Sequence[ScenarioInstance], *,
+                 name: str = "campaign",
+                 jobs: int | None = None,
+                 cache: ResultCache | None = None,
+                 use_cache: bool = True,
+                 refresh: bool = False,
+                 progress: Callable[[str], None] | None = None) -> CampaignResult:
+    """Execute ``instances``, serving repeats from the result cache.
+
+    ``refresh`` forces re-execution but still writes the fresh records back;
+    ``use_cache=False`` bypasses the cache entirely (no reads, no writes).
+    ``progress`` receives one human-readable line per completed instance.
+    """
+    jobs = resolve_jobs(jobs)
+    cache = cache if cache is not None else ResultCache()
+    emit = progress or (lambda line: None)
+    started = time.perf_counter()
+    total = len(instances)
+
+    results: list[InstanceResult | None] = [None] * total
+    pending: list[tuple[int, ScenarioInstance, str]] = []
+
+    for index, instance in enumerate(instances):
+        spec = get_scenario(instance.scenario)
+        try:
+            key = instance_key(instance.scenario, instance.params,
+                               cache_version=spec.cache_version)
+        except TypeError as exc:
+            # Un-canonicalisable params (e.g. object-valued overrides passed
+            # through the Python API) fail that one instance, not the run.
+            results[index] = InstanceResult(instance=instance, key="",
+                                            record=None, cached=False,
+                                            elapsed_seconds=0.0,
+                                            error=f"TypeError: {exc}")
+            emit(f"[{index + 1}/{total}] {instance.describe()}: "
+                 f"ERROR TypeError: {exc}")
+            continue
+        record = cache.get(key) if (use_cache and not refresh) else None
+        if record is not None:
+            results[index] = InstanceResult(instance=instance, key=key,
+                                            record=record, cached=True,
+                                            elapsed_seconds=0.0)
+            emit(f"[{index + 1}/{total}] {instance.describe()}: cached")
+        else:
+            pending.append((index, instance, key))
+
+    def finish(index: int, instance: ScenarioInstance, key: str,
+               result: Any, elapsed: float, error: str | None) -> None:
+        if error is None:
+            spec = get_scenario(instance.scenario)
+            try:
+                record = make_record(key=key, scenario=instance.scenario,
+                                     params=instance.params, result=result,
+                                     elapsed_seconds=elapsed,
+                                     cache_version=spec.cache_version)
+            except TypeError as exc:    # non-JSON result value
+                error = f"TypeError: {exc}"
+        if error is None:
+            if use_cache:
+                cache.put(key, record)
+            results[index] = InstanceResult(instance=instance, key=key,
+                                            record=record, cached=False,
+                                            elapsed_seconds=elapsed)
+            emit(f"[{index + 1}/{total}] {instance.describe()}: "
+                 f"ran in {elapsed:.2f}s")
+        else:
+            results[index] = InstanceResult(instance=instance, key=key,
+                                            record=None, cached=False,
+                                            elapsed_seconds=elapsed, error=error)
+            emit(f"[{index + 1}/{total}] {instance.describe()}: ERROR {error}")
+
+    if pending:
+        if jobs == 1:
+            _run_serial(pending, finish)
+        else:
+            try:
+                _run_parallel(pending, finish, jobs)
+            except (OSError, PermissionError) as exc:
+                # Restricted environments (no fork/semaphores) fall back to
+                # the serial path rather than failing the campaign.
+                emit(f"process pool unavailable ({exc}); running serially")
+                remaining = [(i, inst, key) for i, inst, key in pending
+                             if results[i] is None]
+                _run_serial(remaining, finish)
+
+    final = [r for r in results if r is not None]
+    return CampaignResult(name=name, results=final, jobs=jobs,
+                          wall_seconds=time.perf_counter() - started)
+
+
+def _run_serial(pending, finish) -> None:
+    for index, instance, key in pending:
+        try:
+            result, elapsed = _execute(instance.scenario, dict(instance.params))
+        except Exception as exc:  # noqa: BLE001 - reported per instance
+            finish(index, instance, key, None, 0.0,
+                   f"{type(exc).__name__}: {exc}")
+        else:
+            finish(index, instance, key, result, elapsed, None)
+
+
+def _run_parallel(pending, finish, jobs: int) -> None:
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        submitted = {}
+        for index, instance, key in pending:
+            future = pool.submit(_execute, instance.scenario,
+                                 dict(instance.params))
+            submitted[future] = (index, instance, key)
+        outstanding = set(submitted)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, instance, key = submitted[future]
+                try:
+                    result, elapsed = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported per instance
+                    finish(index, instance, key, None, 0.0,
+                           f"{type(exc).__name__}: {exc}")
+                else:
+                    finish(index, instance, key, result, elapsed, None)

@@ -1,0 +1,103 @@
+"""Typed scenario specifications for the campaign subsystem.
+
+A :class:`ScenarioSpec` names one experiment driver (an E1-E12 ``run_*``
+function) together with its default parameters, reduced smoke-size
+parameters, and discoverable metadata (DAG family x platform x speed model x
+fault model x solver knobs).  A :class:`ScenarioInstance` is one concrete,
+runnable parameterisation of a spec -- the unit the sweep expander emits and
+the parallel runner executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["ScenarioSpec", "ScenarioInstance"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, parameterised experiment scenario.
+
+    ``runner`` is the underlying ``repro.experiments.run_*`` function; it is
+    always called with keyword arguments only.  ``defaults`` reproduce the
+    canonical experiment table (what the ``benchmarks/bench_e*.py`` wrappers
+    assert on) and ``smoke`` holds the overrides that shrink the scenario to
+    a seconds-scale sanity run for ``--smoke`` campaigns and CI.
+    """
+
+    name: str                       # registry key, e.g. "e1-fork-closed-form"
+    experiment: str                 # experiment id in DESIGN terms, e.g. "E1"
+    title: str                      # one-line human description
+    runner: Callable[..., Any]      # run_* driver returning rows or a dict
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    # Discoverable metadata: what the scenario exercises.
+    dag_family: str = "mixed"       # chain | fork | series-parallel | layered | mixed
+    platform: str = "single"        # single | multi
+    speed_model: str = "continuous"  # continuous | discrete | vdd | incremental
+    fault_model: str = "none"       # none | analytic | monte-carlo
+    solver: str = ""                # headline solver knob, e.g. "convex", "lp:scipy"
+    columns: Sequence[str] | None = None  # preferred report column order
+    cache_version: int = 1          # bump to invalidate cached results
+    #: True when the result is a pure function of the parameters.  False for
+    #: scenarios whose results embed wall-clock measurements (E5's scaling
+    #: probes): their cached records still replay identically, but two
+    #: executions of the same config produce different timing fields.
+    deterministic: bool = True
+
+    def params(self, overrides: Mapping[str, Any] | None = None, *,
+               smoke: bool = False) -> dict[str, Any]:
+        """Effective keyword arguments: defaults, then smoke, then overrides."""
+        merged = dict(self.defaults)
+        if smoke:
+            merged.update(self.smoke)
+        if overrides:
+            unknown = set(overrides) - set(merged)
+            if unknown:
+                raise KeyError(
+                    f"unknown parameter(s) {sorted(unknown)} for scenario "
+                    f"{self.name!r}; known: {sorted(merged)}")
+            merged.update(overrides)
+        return merged
+
+    def run(self, overrides: Mapping[str, Any] | None = None, *,
+            smoke: bool = False, **kwargs: Any) -> Any:
+        """Run the scenario and return the raw experiment result.
+
+        Overrides may be passed as a mapping or as keyword arguments (the
+        form the benchmark wrappers use); both are validated against the
+        scenario's known parameters.
+        """
+        merged = {**(overrides or {}), **kwargs}
+        return self.runner(**self.params(merged, smoke=smoke))
+
+    def instance(self, overrides: Mapping[str, Any] | None = None, *,
+                 smoke: bool = False, seed: int | None = None,
+                 label: str | None = None) -> "ScenarioInstance":
+        """Bind parameters into a runnable :class:`ScenarioInstance`."""
+        params = self.params(overrides, smoke=smoke)
+        if seed is not None:
+            if "seed" not in params:
+                raise KeyError(f"scenario {self.name!r} takes no seed parameter")
+            params["seed"] = seed
+        return ScenarioInstance(scenario=self.name, params=params,
+                                label=label or self.name)
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One concrete parameterisation of a registered scenario.
+
+    Instances are deliberately plain (scenario *name* plus a keyword dict):
+    they pickle cheaply into worker processes and canonicalise stably into
+    cache keys.
+    """
+
+    scenario: str
+    params: Mapping[str, Any]
+    label: str = ""
+
+    def describe(self) -> str:
+        return self.label or self.scenario

@@ -1,0 +1,120 @@
+"""Declarative parameter sweeps: grid expansion into scenario instances.
+
+A campaign is a list of entries, each naming a registered scenario with
+fixed parameter overrides (``params``), a cartesian ``grid`` of swept
+parameters, and optionally a number of seed replicates (``seeds``) whose
+per-instance child seeds are derived deterministically from a base seed via
+:func:`repro.core.rng.spawn_child_seeds`.  Campaign files are JSON::
+
+    {
+      "name": "fork-sweep",
+      "entries": [
+        {"scenario": "e1-fork-closed-form",
+         "params": {"slacks": [1.5]},
+         "grid": {"sizes": [[2, 4], [8, 16]]},
+         "seeds": 3, "base_seed": 7}
+      ]
+    }
+
+``expand_campaign`` flattens that declaration into an ordered list of
+:class:`~repro.campaign.spec.ScenarioInstance`; the expansion order is
+deterministic (entry order, then grid order with sorted keys, then seed
+index), so instance identity is stable across runs and processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.rng import spawn_child_seeds
+from .registry import get_scenario, iter_scenarios
+from .spec import ScenarioInstance
+
+__all__ = ["expand_grid", "expand_entry", "expand_campaign",
+           "load_campaign_file", "all_scenarios_campaign"]
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]] | None) -> list[dict[str, Any]]:
+    """Cartesian product of a ``{param: [values...]}`` grid, sorted-key order.
+
+    An empty/absent grid expands to one empty combination (the entry's fixed
+    parameters alone).
+    """
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    for key in keys:
+        if not isinstance(grid[key], (list, tuple)):
+            raise TypeError(f"grid values must be lists, got {grid[key]!r} "
+                            f"for parameter {key!r}")
+    combos = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        combos.append(dict(zip(keys, values)))
+    return combos
+
+
+def expand_entry(entry: Mapping[str, Any], *, smoke: bool = False) -> list[ScenarioInstance]:
+    """Expand one campaign entry into its scenario instances."""
+    known = {"scenario", "params", "grid", "seeds", "base_seed"}
+    unknown = set(entry) - known
+    if unknown:
+        raise KeyError(f"unknown campaign entry key(s) {sorted(unknown)}; "
+                       f"known: {sorted(known)}")
+    spec = get_scenario(entry["scenario"])
+    fixed = dict(entry.get("params") or {})
+    combos = expand_grid(entry.get("grid"))
+
+    replicates = int(entry.get("seeds", 0) or 0)
+    seeds: list[int | None]
+    if replicates:
+        base_seed = int(entry.get("base_seed",
+                                  spec.defaults.get("seed", 0) or 0))
+        seeds = list(spawn_child_seeds(base_seed, replicates))
+    else:
+        seeds = [None]          # keep the scenario's own seed parameter
+
+    instances = []
+    for combo_index, combo in enumerate(combos):
+        overrides = {**fixed, **combo}
+        for seed_index, seed in enumerate(seeds):
+            parts = [spec.name]
+            if combo:
+                parts.append(",".join(f"{k}={v}" for k, v in sorted(combo.items())))
+            if seed is not None:
+                parts.append(f"seed#{seed_index}")
+            instances.append(spec.instance(overrides, smoke=smoke, seed=seed,
+                                           label=" ".join(parts)))
+    return instances
+
+
+def expand_campaign(campaign: Mapping[str, Any], *, smoke: bool = False) -> list[ScenarioInstance]:
+    """Expand a whole campaign declaration into an ordered instance list."""
+    entries = campaign.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("campaign must declare a non-empty 'entries' list")
+    instances: list[ScenarioInstance] = []
+    for entry in entries:
+        instances.extend(expand_entry(entry, smoke=smoke))
+    return instances
+
+
+def load_campaign_file(path: str | Path) -> dict:
+    """Load and minimally validate a JSON campaign file."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        campaign = json.load(fh)
+    if not isinstance(campaign, Mapping):
+        raise ValueError(f"campaign file {path} must contain a JSON object")
+    campaign = dict(campaign)
+    campaign.setdefault("name", Path(path).stem)
+    return campaign
+
+
+def all_scenarios_campaign() -> dict:
+    """The built-in ``all`` campaign: every registered scenario once."""
+    return {
+        "name": "all",
+        "entries": [{"scenario": spec.name} for spec in iter_scenarios()],
+    }

@@ -9,6 +9,7 @@ from .problems import (
     TriCritProblem,
 )
 from .reliability import ReliabilityModel
+from .rng import resolve_seed, spawn_child_seeds
 from .schedule import Execution, Schedule, ScheduleViolation, TaskDecision
 from .speeds import (
     INTEL_XSCALE_SPEEDS,
@@ -25,6 +26,8 @@ __all__ = [
     "reexecution_energy",
     "energy_for_duration",
     "ReliabilityModel",
+    "resolve_seed",
+    "spawn_child_seeds",
     "Execution",
     "TaskDecision",
     "Schedule",

@@ -1,0 +1,62 @@
+"""Seed and random-number-generator plumbing shared across the library.
+
+Every stochastic entry point of the reproduction (the ``run_*`` experiment
+drivers, the Monte-Carlo simulators, the campaign sweep expander) accepts
+``seed: int | numpy.random.Generator | None``.  This module centralises the
+two conversions that policy needs:
+
+* :func:`resolve_seed` collapses that union into a plain ``int`` so that
+  experiment drivers which derive per-instance seeds arithmetically
+  (``seed + i``) keep working and stay reproducible;
+* :func:`spawn_child_seeds` derives independent, deterministic child seeds
+  from a base seed via :class:`numpy.random.SeedSequence` -- the campaign
+  sweep expander uses it to give every expanded scenario instance its own
+  stream without correlated draws.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["resolve_seed", "spawn_child_seeds"]
+
+#: Upper bound (exclusive) for integer seeds drawn from a Generator; keeps
+#: resolved seeds well inside the exactly-representable integer range of the
+#: JSON/float round trips performed by the campaign result cache.
+_SEED_BOUND = 2**31
+
+
+def resolve_seed(seed: "int | np.random.Generator | None", default: int) -> int:
+    """Collapse the ``int | Generator | None`` seed union into a plain int.
+
+    * ``None`` returns ``default`` (the entry point's documented seed);
+    * an ``int`` (or numpy integer) is returned as-is;
+    * a :class:`numpy.random.Generator` deterministically advances the
+      generator by one draw and returns that integer, so passing the same
+      generator state always yields the same resolved seed.
+    """
+    if seed is None:
+        return int(default)
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, _SEED_BOUND))
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    raise TypeError(f"seed must be int, numpy Generator or None, got {type(seed)!r}")
+
+
+def spawn_child_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent, deterministic child seeds from ``seed``.
+
+    Built on :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent of each other and of the parent stream, and the
+    mapping ``(seed, count) -> children`` is stable across processes and
+    platforms -- the property the parallel campaign runner relies on for
+    ``--jobs 1`` and ``--jobs N`` to produce identical results.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint32)[0]) % _SEED_BOUND
+            for child in children]

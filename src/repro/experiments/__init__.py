@@ -1,9 +1,16 @@
 """Experiment harness: instance suites, experiment runners and reporting.
 
-One ``run_*`` function per experiment of the per-experiment index in
-``DESIGN.md`` (E1-E12); the benchmark modules under ``benchmarks/`` are thin
-wrappers that call these runners, print their tables and time the
-interesting kernels with pytest-benchmark.
+One ``run_*`` function per experiment of the index E1-E12 (tabulated in the
+root ``README.md``); the campaign registry (``repro.campaign``) names each
+runner as a parameterised scenario, and the benchmark modules under
+``benchmarks/`` are thin wrappers over those registry entries that print
+the tables and time the interesting kernels with pytest-benchmark.
+
+Every ``run_*`` entry point accepts ``seed: int | numpy.random.Generator |
+None`` (resolved through :func:`repro.core.rng.resolve_seed`): ``None``
+selects the experiment's documented default seed, an integer reproduces a
+specific table, and a generator deterministically derives the seed from the
+generator's stream.
 """
 
 from .adaptation_experiments import (

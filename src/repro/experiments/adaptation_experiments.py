@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.problems import BiCritProblem, TriCritProblem
+from ..core.rng import resolve_seed
 from ..core.schedule import Schedule, TaskDecision
 from ..core.speeds import VddHoppingSpeeds
 from ..continuous.bicrit import solve_bicrit_continuous
@@ -49,8 +50,13 @@ __all__ = [
 def run_vdd_rounding_experiment(*, specs: Sequence[InstanceSpec] | None = None,
                                 mode_counts: Sequence[int] = (3, 5, 9),
                                 frel: float | None = None,
-                                seed: int = 43) -> list[dict]:
-    """E10: energy loss of the rounded VDD heuristic vs its continuous source."""
+                                seed: int | np.random.Generator | None = 43) -> list[dict]:
+    """E10: energy loss of the rounded VDD heuristic vs its continuous source.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 43); it
+    only shapes the generated suite when ``specs`` is None.
+    """
+    seed = resolve_seed(seed, 43)
     specs = list(specs) if specs is not None else mixed_suite(seed=seed)
     fmin, fmax = DEFAULT_SPEED_RANGE
     rows = []
@@ -85,7 +91,7 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
                                           trials: int = 4000,
                                           lambda0: float = 1e-3,
                                           sensitivity: float = 4.0,
-                                          seed: int = 47,
+                                          seed: int | np.random.Generator | None = 47,
                                           engine: str = "batch") -> list[dict]:
     """E11: Monte-Carlo reliability vs analytic model, with and without re-execution.
 
@@ -94,8 +100,11 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
     (reliability drops as the speed drops, re-execution restores it at an
     energy cost) is what matters.  ``engine`` selects the Monte-Carlo kernel
     (the vectorized ``"batch"`` fast path by default, ``"scalar"`` for the
-    reference per-trial walk).
+    reference per-trial walk).  ``seed`` accepts an int, a generator or
+    ``None`` (default seed 47); it drives both the instance generation and
+    the fault injection.
     """
+    seed = resolve_seed(seed, 47)
     graph = generators.random_chain(chain_size, seed=seed)
     mapping = Mapping.single_processor(graph)
     platform = make_platform(1, speeds="continuous", lambda0=lambda0,
@@ -133,7 +142,7 @@ def run_reliability_simulation_experiment(*, chain_size: int = 8,
 
 def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 4), (5, 4)),
                                     num_processors: int = 4, slack: float = 1.8,
-                                    seed: int = 53,
+                                    seed: int | np.random.Generator | None = 53,
                                     heuristics: Sequence[str] = ("critical_path",
                                                                  "largest_first",
                                                                  "topological",
@@ -148,7 +157,9 @@ def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 
     fault-injected runs (through the Monte-Carlo kernel selected by
     ``engine``), reporting the observed success rate and mean makespan next
     to the analytic energy; ``trials=0`` skips the simulation columns.
+    ``seed`` accepts an int, a generator or ``None`` (default seed 53).
     """
+    seed = resolve_seed(seed, 53)
     fmin, fmax = DEFAULT_SPEED_RANGE
     rows = []
     for i, (layers, width) in enumerate(shapes):

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..baselines import local_slack_reclaiming, no_dvfs, uniform_slowdown
 from ..core.problems import BiCritProblem
+from ..core.rng import resolve_seed
 from ..core.speeds import ContinuousSpeeds
 from ..continuous.bicrit import solve_bicrit_continuous
 from ..continuous.closed_form import fork_energy, series_parallel_bicrit
@@ -39,10 +40,15 @@ __all__ = [
 
 def run_fork_closed_form_experiment(*, sizes: Sequence[int] = (2, 4, 8, 16, 32),
                                     slacks: Sequence[float] = (1.2, 2.0, 4.0),
-                                    seed: int = 7,
+                                    seed: int | np.random.Generator | None = 7,
                                     speed_range: tuple[float, float] = (0.001, 50.0)
                                     ) -> list[dict]:
-    """E1: fork formula vs convex solver across sizes and deadline slacks."""
+    """E1: fork formula vs convex solver across sizes and deadline slacks.
+
+    ``seed`` accepts an int, a ``numpy.random.Generator`` or ``None``
+    (the documented default, 7); see :func:`repro.core.rng.resolve_seed`.
+    """
+    seed = resolve_seed(seed, 7)
     fmin, fmax = speed_range
     rows = []
     for i, n in enumerate(sizes):
@@ -78,10 +84,14 @@ def run_fork_closed_form_experiment(*, sizes: Sequence[int] = (2, 4, 8, 16, 32),
 
 def run_series_parallel_experiment(*, sizes: Sequence[int] = (4, 8, 12, 16),
                                    slacks: Sequence[float] = (1.5, 3.0),
-                                   seed: int = 11,
+                                   seed: int | np.random.Generator | None = 11,
                                    speed_range: tuple[float, float] = (0.001, 60.0)
                                    ) -> list[dict]:
-    """E2: equivalent-weight recursion vs convex solver on random SP graphs."""
+    """E2: equivalent-weight recursion vs convex solver on random SP graphs.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 11).
+    """
+    seed = resolve_seed(seed, 11)
     fmin, fmax = speed_range
     rows = []
     for i, n in enumerate(sizes):
@@ -107,8 +117,13 @@ def run_series_parallel_experiment(*, sizes: Sequence[int] = (4, 8, 12, 16),
 
 def run_convex_dag_experiment(*, num_processors: int = 4,
                               shapes: Sequence[tuple[int, int]] = ((3, 3), (4, 4), (5, 4)),
-                              slack: float = 1.8, seed: int = 13) -> list[dict]:
-    """E3: global convex optimum vs baselines on mapped layered DAGs."""
+                              slack: float = 1.8,
+                              seed: int | np.random.Generator | None = 13) -> list[dict]:
+    """E3: global convex optimum vs baselines on mapped layered DAGs.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 13).
+    """
+    seed = resolve_seed(seed, 13)
     rows = []
     specs = layered_suite(shapes=shapes, num_processors=num_processors,
                           slacks=(slack,), seed=seed)

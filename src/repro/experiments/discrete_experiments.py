@@ -28,6 +28,7 @@ from ..complexity.scaling import (
     measure_vdd_lp_scaling,
 )
 from ..core.problems import BiCritProblem
+from ..core.rng import resolve_seed
 from ..core.speeds import DiscreteSpeeds, IncrementalSpeeds, VddHoppingSpeeds
 from ..continuous.bicrit import solve_bicrit_continuous
 from ..dag import generators
@@ -73,10 +74,15 @@ def _layered_problem(layers: int, width: int, p: int, seed: int, speed_model,
 
 def run_vdd_lp_experiment(*, modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                           chain_sizes: Sequence[int] = (5, 10, 20),
-                          slack: float = 1.7, seed: int = 17,
+                          slack: float = 1.7,
+                          seed: int | np.random.Generator | None = 17,
                           compare_backends: bool = True,
                           include_dag: bool = True) -> list[dict]:
-    """E4: LP optimum vs continuous bound vs single-mode optimum, two-speed check."""
+    """E4: LP optimum vs continuous bound vs single-mode optimum, two-speed check.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 17).
+    """
+    seed = resolve_seed(seed, 17)
     rows = []
     instances: list[tuple[str, BiCritProblem]] = []
     for i, n in enumerate(chain_sizes):
@@ -129,13 +135,15 @@ def run_np_hardness_experiment(*, partition_instances: Sequence[Sequence[int]] =
                                scaling_sizes: Sequence[int] = (4, 6, 8, 10),
                                lp_sizes: Sequence[int] = (4, 8, 16, 32, 64),
                                scaling_modes: Sequence[float] = (0.5, 1.0),
-                               seed: int = 23) -> dict:
+                               seed: int | np.random.Generator | None = 23) -> dict:
     """E5: reduction correctness plus exponential-vs-polynomial scaling.
 
     The exact-solver scaling probe uses a two-mode speed set so that the
     ``m^n`` enumeration stays affordable while the exponential growth in the
-    number of tasks remains clearly visible.
+    number of tasks remains clearly visible.  ``seed`` accepts an int, a
+    generator or ``None`` (default seed 23).
     """
+    seed = resolve_seed(seed, 23)
     reduction_rows = []
     for integers in partition_instances:
         outcome = verify_partition_reduction(integers, solver="bruteforce")
@@ -166,10 +174,14 @@ def run_np_hardness_experiment(*, partition_instances: Sequence[Sequence[int]] =
 def run_incremental_approx_experiment(*, deltas: Sequence[float] = (0.05, 0.1, 0.2, 0.3),
                                       Ks: Sequence[int | None] = (None, 2, 5),
                                       chain_size: int = 10, slack: float = 1.6,
-                                      seed: int = 29,
+                                      seed: int | np.random.Generator | None = 29,
                                       speed_range: tuple[float, float] = (0.3, 1.0),
                                       include_dag: bool = True) -> list[dict]:
-    """E6: measured approximation ratio vs the guaranteed factor."""
+    """E6: measured approximation ratio vs the guaranteed factor.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 29).
+    """
+    seed = resolve_seed(seed, 29)
     fmin, fmax = speed_range
     rows = []
     instances = [("chain", _chain_problem(chain_size, seed,

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..baselines import greedy_reexecution
 from ..core.problems import TriCritProblem
+from ..core.rng import resolve_seed
 from ..continuous.exhaustive import solve_tricrit_exhaustive
 from ..continuous.heuristics import (
     best_of_heuristics,
@@ -52,8 +53,12 @@ __all__ = [
 def run_tricrit_chain_experiment(*, sizes: Sequence[int] = (4, 6, 8, 10),
                                  slacks: Sequence[float] = (2.0, 3.0),
                                  frel: float | None = None,
-                                 seed: int = 31) -> list[dict]:
-    """E7: greedy chain strategy vs exhaustive optimum, with subset counts."""
+                                 seed: int | np.random.Generator | None = 31) -> list[dict]:
+    """E7: greedy chain strategy vs exhaustive optimum, with subset counts.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 31).
+    """
+    seed = resolve_seed(seed, 31)
     rows = []
     specs = chain_suite(sizes=sizes, slacks=slacks, seed=seed)
     for spec in specs:
@@ -79,8 +84,12 @@ def run_tricrit_chain_experiment(*, sizes: Sequence[int] = (4, 6, 8, 10),
 def run_tricrit_fork_experiment(*, sizes: Sequence[int] = (2, 4, 6, 8),
                                 slacks: Sequence[float] = (2.0, 3.0),
                                 frel: float | None = None,
-                                seed: int = 37) -> list[dict]:
-    """E8: polynomial fork algorithm vs brute-force enumeration."""
+                                seed: int | np.random.Generator | None = 37) -> list[dict]:
+    """E8: polynomial fork algorithm vs brute-force enumeration.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 37).
+    """
+    seed = resolve_seed(seed, 37)
     rows = []
     specs = fork_suite(sizes=sizes, slacks=slacks, seed=seed)
     for spec in specs:
@@ -102,9 +111,14 @@ def run_tricrit_fork_experiment(*, sizes: Sequence[int] = (2, 4, 6, 8),
 
 def run_heuristic_comparison_experiment(*, specs: Sequence[InstanceSpec] | None = None,
                                         frel: float | None = None,
-                                        seed: int = 41,
+                                        seed: int | np.random.Generator | None = 41,
                                         include_reference: bool = True) -> list[dict]:
-    """E9: the two heuristic families and their combination across DAG classes."""
+    """E9: the two heuristic families and their combination across DAG classes.
+
+    ``seed`` accepts an int, a generator or ``None`` (default seed 41); it
+    only shapes the generated suite when ``specs`` is None.
+    """
+    seed = resolve_seed(seed, 41)
     specs = list(specs) if specs is not None else mixed_suite(seed=seed)
     rows = []
     for spec in specs:

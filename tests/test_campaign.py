@@ -1,0 +1,292 @@
+"""Tests for the campaign orchestration subsystem (registry, cache, runner, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ResultCache,
+    all_scenarios_campaign,
+    expand_campaign,
+    expand_entry,
+    expand_grid,
+    get_scenario,
+    instance_key,
+    iter_scenarios,
+    run_campaign,
+    scenario_names,
+)
+from repro.campaign.cli import main as cli_main, parse_param, render_result
+from repro.core.rng import resolve_seed, spawn_child_seeds
+
+# Cheap scenarios used when a test only needs "some" instances.  All three
+# are flagged deterministic in the registry (E5 would not qualify: its
+# scaling probes record wall-clock seconds).
+FAST = ("e1-fork-closed-form", "e2-series-parallel", "e7-tricrit-chain")
+
+
+def test_fast_scenarios_are_flagged_deterministic():
+    assert all(get_scenario(name).deterministic for name in FAST)
+    assert not get_scenario("e5-np-hardness").deterministic
+
+
+def smoke_instances(names=FAST):
+    return [get_scenario(name).instance(smoke=True) for name in names]
+
+
+# ----------------------------------------------------------------------
+# seed plumbing
+# ----------------------------------------------------------------------
+class TestRngHelpers:
+    def test_resolve_seed_none_uses_default(self):
+        assert resolve_seed(None, 7) == 7
+
+    def test_resolve_seed_int_passthrough(self):
+        assert resolve_seed(123, 7) == 123
+        assert resolve_seed(np.int64(9), 7) == 9
+
+    def test_resolve_seed_generator_is_deterministic(self):
+        a = resolve_seed(np.random.default_rng(0), 7)
+        b = resolve_seed(np.random.default_rng(0), 7)
+        assert a == b
+        assert isinstance(a, int)
+
+    def test_resolve_seed_rejects_junk(self):
+        with pytest.raises(TypeError):
+            resolve_seed("7", 7)
+
+    def test_spawn_child_seeds_deterministic_and_distinct(self):
+        a = spawn_child_seeds(42, 8)
+        b = spawn_child_seeds(42, 8)
+        assert a == b
+        assert len(set(a)) == 8
+        assert spawn_child_seeds(43, 8) != a
+
+    def test_run_star_accepts_generator_and_none(self):
+        from repro.experiments import run_fork_closed_form_experiment
+
+        default = run_fork_closed_form_experiment(sizes=(2,), slacks=(1.5,))
+        explicit = run_fork_closed_form_experiment(sizes=(2,), slacks=(1.5,),
+                                                   seed=None)
+        assert default == explicit
+        gen_a = run_fork_closed_form_experiment(
+            sizes=(2,), slacks=(1.5,), seed=np.random.default_rng(5))
+        gen_b = run_fork_closed_form_experiment(
+            sizes=(2,), slacks=(1.5,), seed=np.random.default_rng(5))
+        assert gen_a == gen_b
+
+
+# ----------------------------------------------------------------------
+# registry completeness
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_twelve_experiments_registered(self):
+        experiments = [spec.experiment for spec in iter_scenarios()]
+        assert experiments == [f"E{i}" for i in range(1, 13)]
+
+    def test_lookup_by_name_and_experiment_id(self):
+        assert get_scenario("e7-tricrit-chain").experiment == "E7"
+        assert get_scenario("e7").name == "e7-tricrit-chain"
+        assert get_scenario("E7").name == "e7-tricrit-chain"
+        with pytest.raises(KeyError):
+            get_scenario("e99")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            get_scenario("e1").params({"bogus": 1})
+
+    @pytest.mark.parametrize("name", [spec.name for spec in iter_scenarios()])
+    def test_every_scenario_runs_at_smoke_size(self, name):
+        result = get_scenario(name).run(smoke=True)
+        if isinstance(result, dict):        # E5 returns sectioned output
+            assert result["reduction_rows"]
+        else:
+            assert isinstance(result, list) and result
+            assert all(isinstance(row, dict) for row in result)
+
+
+# ----------------------------------------------------------------------
+# sweep expansion
+# ----------------------------------------------------------------------
+class TestSweep:
+    def test_expand_grid_cartesian_and_empty(self):
+        assert expand_grid(None) == [{}]
+        combos = expand_grid({"b": [1, 2], "a": ["x"]})
+        assert combos == [{"a": "x", "b": 1}, {"a": "x", "b": 2}]
+
+    def test_expand_entry_grid_times_seeds(self):
+        entry = {"scenario": "e1-fork-closed-form",
+                 "grid": {"slacks": [[1.5], [2.0]]},
+                 "seeds": 3, "base_seed": 11}
+        instances = expand_entry(entry, smoke=True)
+        assert len(instances) == 6
+        seeds = {inst.params["seed"] for inst in instances}
+        assert seeds == set(spawn_child_seeds(11, 3))
+        # Deterministic: expanding again gives the same instances.
+        assert expand_entry(entry, smoke=True) == instances
+
+    def test_expand_entry_rejects_unknown_keys(self):
+        with pytest.raises(KeyError, match="unknown campaign entry"):
+            expand_entry({"scenario": "e1", "prams": {}})
+
+    def test_all_campaign_covers_registry(self):
+        instances = expand_campaign(all_scenarios_campaign(), smoke=True)
+        assert [inst.scenario for inst in instances] == scenario_names()
+
+
+# ----------------------------------------------------------------------
+# the content-addressed cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_key_stability_and_sensitivity(self):
+        base = {"sizes": (2, 4), "slacks": (1.5,), "seed": 7}
+        key = instance_key("e1-fork-closed-form", base)
+        assert key == instance_key("e1-fork-closed-form", dict(base))
+        # Tuple vs list spelling of the same config hashes identically.
+        assert key == instance_key("e1-fork-closed-form",
+                                   {"sizes": [2, 4], "slacks": [1.5], "seed": 7})
+        # Any changed parameter, or another scenario, is a different key.
+        assert key != instance_key("e1-fork-closed-form", {**base, "seed": 8})
+        assert key != instance_key("e2-series-parallel", base)
+
+    def test_same_config_hits_changed_param_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_campaign(smoke_instances(("e1-fork-closed-form",)),
+                             cache=cache)
+        assert (first.hits, first.misses) == (0, 1)
+        again = run_campaign(smoke_instances(("e1-fork-closed-form",)),
+                             cache=cache)
+        assert (again.hits, again.misses) == (1, 0)
+        assert again.results[0].record["result"] == first.results[0].record["result"]
+        changed = run_campaign(
+            [get_scenario("e1-fork-closed-form").instance({"slacks": (2.5,)},
+                                                          smoke=True)],
+            cache=cache)
+        assert (changed.hits, changed.misses) == (0, 1)
+
+    def test_refresh_reexecutes_and_no_cache_bypasses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        instances = smoke_instances(("e2-series-parallel",))
+        run_campaign(instances, cache=cache)
+        refreshed = run_campaign(instances, cache=cache, refresh=True)
+        assert (refreshed.hits, refreshed.misses) == (0, 1)
+        bypassed = run_campaign(instances, cache=cache, use_cache=False)
+        assert (bypassed.hits, bypassed.misses) == (0, 1)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        instances = smoke_instances(("e1-fork-closed-form",))
+        outcome = run_campaign(instances, cache=cache)
+        cache.path_for(outcome.results[0].key).write_text("{not json")
+        rerun = run_campaign(instances, cache=cache)
+        assert (rerun.hits, rerun.misses) == (0, 1)
+
+    def test_error_is_reported_not_raised(self, tmp_path):
+        bad = get_scenario("e1-fork-closed-form").instance(smoke=True)
+        broken = type(bad)(scenario=bad.scenario,
+                           params={**bad.params, "seed": "bogus"},
+                           label="broken")
+        outcome = run_campaign([broken], cache=ResultCache(tmp_path / "cache"))
+        assert outcome.errors == 1
+        assert not outcome.results[0].ok
+        assert outcome.results[0].record is None
+
+
+# ----------------------------------------------------------------------
+# parallel execution determinism
+# ----------------------------------------------------------------------
+class TestParallelRunner:
+    def test_jobs_1_and_jobs_4_produce_identical_records(self, tmp_path):
+        serial = run_campaign(smoke_instances(), jobs=1,
+                              cache=ResultCache(tmp_path / "serial"))
+        parallel = run_campaign(smoke_instances(), jobs=4,
+                                cache=ResultCache(tmp_path / "parallel"))
+        assert serial.errors == 0 and parallel.errors == 0
+        for left, right in zip(serial.results, parallel.results):
+            assert left.key == right.key
+            assert left.record["result"] == right.record["result"]
+
+    def test_progress_lines_stream_per_instance(self, tmp_path):
+        lines = []
+        run_campaign(smoke_instances(), jobs=1,
+                     cache=ResultCache(tmp_path / "cache"),
+                     progress=lines.append)
+        assert len(lines) == len(FAST)
+        assert all("[" in line for line in lines)
+
+    def test_jobs_env_fallback(self, monkeypatch):
+        from repro.campaign import resolve_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_parse_param(self):
+        assert parse_param("sizes=2,4") == ("sizes", (2, 4))
+        assert parse_param("slack=1.5") == ("slack", 1.5)
+        assert parse_param("engine=batch") == ("engine", "batch")
+        assert parse_param("frel=none") == ("frel", None)
+        assert parse_param("include_dag=false") == ("include_dag", False)
+
+    def test_render_result_rows_and_sections(self):
+        table = render_result([{"a": 1, "b": 2.5}], title="T")
+        assert "T" in table and "a" in table and "2.5" in table
+        sections = render_result({"rows": [{"x": 1}], "fit": 2.0})
+        assert "[rows]" in sections and "fit: 2" in sections
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert cli_main(["run", "e99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "Traceback" not in err
+
+    def test_list_names(self, capsys):
+        assert cli_main(["list", "--names"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == scenario_names()
+
+    def test_run_caches_and_reports(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["run", "e1", "--smoke", "--cache-dir", cache_dir]) == 0
+        assert "ran in" in capsys.readouterr().out
+        assert cli_main(["run", "e1", "--smoke", "--cache-dir", cache_dir]) == 0
+        assert "cached" in capsys.readouterr().out
+        assert cli_main(["report", "e1", "--cache-dir", cache_dir]) == 0
+        assert "formula_energy" in capsys.readouterr().out
+
+    def test_run_json_record_round_trips(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["run", "e1", "--smoke", "--json",
+                         "--cache-dir", cache_dir]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scenario"] == "e1-fork-closed-form"
+        assert record["result"]
+
+    def test_campaign_file_with_param_override(self, tmp_path, capsys):
+        campaign = tmp_path / "campaign.json"
+        campaign.write_text(json.dumps({
+            "name": "mini",
+            "entries": [{"scenario": "e1-fork-closed-form",
+                         "params": {"sizes": [2]}, "seeds": 2}],
+        }))
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["campaign", str(campaign), "--smoke",
+                         "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 instances, 0/2 cache hits" in out
+        assert cli_main(["campaign", str(campaign), "--smoke",
+                         "--cache-dir", cache_dir]) == 0
+        assert "2/2 cache hits" in capsys.readouterr().out

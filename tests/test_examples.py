@@ -1,0 +1,52 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each example's ``main()`` accepts size/trial keyword overrides, so the suite
+imports every script and runs it end-to-end at tiny sizes -- the scripts
+cannot silently rot when the library API moves underneath them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script file -> tiny-size keyword overrides for ``main()``
+EXAMPLES = {
+    "quickstart.py": dict(child_weights=(2.0, 5.0)),
+    "discrete_dvfs_comparison.py": dict(width=2, steps=2,
+                                        deadline_slacks=(1.4, 2.0)),
+    "hpc_platform_energy.py": dict(num_phases=2, width=2, num_processors=2),
+    "reliability_tradeoff.py": dict(layers=2, width=2, trials=500),
+}
+
+
+def _load(script: str):
+    path = EXAMPLES_DIR / script
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLES), (
+        "examples/ and the smoke-test table drifted apart; update EXAMPLES "
+        "in tests/test_examples.py")
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs_at_tiny_size(script, capsys):
+    module = _load(script)
+    module.main(**EXAMPLES[script])
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
