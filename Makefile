@@ -1,18 +1,29 @@
 # Convenience targets for the reproduction repo.
 #
 #   make test           - tier-1 test suite (the gate every PR must keep green)
+#   make lint           - ruff check (critical rules; skipped when ruff is absent)
 #   make smoke          - reduced-trial smoke of the simulation perf path
-#   make campaign-smoke - every E1-E12 scenario through the campaign runner
+#   make campaign-smoke - every E1-E13 scenario through the campaign runner
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
-#   make check          - test + smoke + campaign-smoke: what CI runs on every PR
+#   make check          - lint + test + smoke + campaign-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke campaign-smoke bench check
+# Critical-only rule set: syntax errors, broken comparisons, undefined names.
+RUFF_RULES ?= E9,F63,F7,F82
+
+.PHONY: test lint smoke campaign-smoke bench check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check --select $(RUFF_RULES) src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it -- pip install ruff)"; \
+	fi
 
 smoke:
 	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 $(PYTHON) -m pytest \
@@ -28,4 +39,4 @@ campaign-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: test smoke campaign-smoke
+check: lint test smoke campaign-smoke

@@ -1,0 +1,111 @@
+"""Wall-clock harness for the solver registry and dispatcher.
+
+Measures two things and records them to ``BENCH_solvers.json`` at the
+repository root:
+
+* **dispatch overhead** -- the cost ``solve(problem, solver=...)`` adds on
+  top of calling the underlying function directly (admissibility checks +
+  option merging + metadata), and the cost of a bare ``select_solver`` scan
+  on a warm :class:`~repro.solvers.SolverContext`.  Both must stay
+  negligible against any real solve;
+* **per-solver runtime** -- every admissible registry solver timed once on
+  the canonical E13 instance set (one instance per DAG family), which is
+  the quantitative face of the capability table: exact enumerations cost
+  orders of magnitude more than the closed forms and heuristics they
+  validate.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_solvers.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.continuous.heuristics import solve_tricrit_no_reexec
+from repro.experiments import print_table
+from repro.experiments.instances import (
+    chain_suite,
+    fork_suite,
+    layered_suite,
+    series_parallel_suite,
+    tricrit_problem,
+)
+from repro.solvers import SolverContext, admissible_solvers, select_solver, solve
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_solvers.json"
+
+#: Calls per timing loop for the overhead measurements.
+OVERHEAD_CALLS = 50
+SELECT_CALLS = 2000
+
+
+def _canonical_instances():
+    return {
+        "chain": tricrit_problem(chain_suite(sizes=(5,), slacks=(2.0,), seed=59)[0]),
+        "fork": tricrit_problem(fork_suite(sizes=(5,), slacks=(2.0,), seed=1059)[0]),
+        "series-parallel": tricrit_problem(
+            series_parallel_suite(sizes=(5,), slacks=(2.0,), seed=2059)[0]),
+        "dag": tricrit_problem(layered_suite(shapes=((3, 2),), num_processors=3,
+                                             slacks=(2.0,), seed=3059)[0]),
+    }
+
+
+def _timed(func, calls):
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        func()
+    return (time.perf_counter() - t0) / calls
+
+
+def test_dispatch_overhead_and_per_solver_runtimes():
+    instances = _canonical_instances()
+    problem = instances["chain"]
+    # Warm the memoized context so the overhead loop measures steady state.
+    SolverContext.for_problem(problem).structure
+
+    direct = _timed(lambda: solve_tricrit_no_reexec(problem), OVERHEAD_CALLS)
+    dispatched = _timed(lambda: solve(problem, solver="tricrit-no-reexec"),
+                        OVERHEAD_CALLS)
+    select = _timed(lambda: select_solver(problem), SELECT_CALLS)
+    overhead = {
+        "direct_call_seconds": direct,
+        "dispatched_call_seconds": dispatched,
+        "overhead_seconds_per_call": dispatched - direct,
+        "select_solver_seconds": select,
+        "overhead_calls": OVERHEAD_CALLS,
+    }
+
+    per_solver = []
+    for family, prob in instances.items():
+        for solver in admissible_solvers(prob):
+            t0 = time.perf_counter()
+            result = solve(prob, solver=solver.name)
+            elapsed = time.perf_counter() - t0
+            per_solver.append({
+                "family": family,
+                "tasks": prob.graph.num_tasks,
+                "solver": solver.name,
+                "exactness": solver.exactness,
+                "seconds": elapsed,
+                "energy": result.energy,
+                "status": result.status,
+            })
+
+    print_table([{"metric": k, "value": v} for k, v in overhead.items()],
+                title="solver dispatch overhead")
+    print_table(per_solver, title="per-solver runtime on the canonical instances")
+
+    BENCH_PATH.write_text(json.dumps(
+        {"overhead": overhead, "per_solver": per_solver}, indent=1))
+
+    # Selection on a warm context is micro-scale, and the full dispatch
+    # wrapper adds at most a small fraction of the cheapest real solve
+    # (generous bounds: this is a shared CI box).
+    assert select < 5e-3
+    assert dispatched - direct < max(0.5 * direct, 5e-3)
+    # Every admissible solver completed on every canonical instance.
+    assert all(row["status"] in ("optimal", "feasible") for row in per_solver)

@@ -46,6 +46,7 @@ from . import (
     optimize,
     platform,
     simulation,
+    solvers,
 )
 from .core import (
     BiCritProblem,
@@ -79,6 +80,7 @@ __all__ = [
     "baselines",
     "experiments",
     "campaign",
+    "solvers",
     # most-used classes re-exported at the top level
     "TaskGraph",
     "Platform",

@@ -2,7 +2,10 @@
 
 Subcommands:
 
-* ``repro list`` -- the scenario registry as a table (all E1-E12 entries);
+* ``repro list`` -- the scenario registry as a table (all E1-E13 entries);
+* ``repro solvers`` -- the solver registry with capability columns
+  (``--markdown`` emits the README table, ``--problem FILE`` reports which
+  solvers admit a stored problem instance);
 * ``repro run <scenario> [--param k=v ...]`` -- run one scenario (through
   the result cache) and print its experiment table;
 * ``repro campaign <file-or-"all"> [--smoke] [--jobs N]`` -- expand a JSON
@@ -21,12 +24,14 @@ import sys
 from typing import Any, Mapping, Sequence
 
 from ..experiments.reporting import format_value, rows_to_table
+from ..solvers import capability_rows, solvers_for
 from .cache import ResultCache
 from .registry import get_scenario, iter_scenarios
 from .runner import run_campaign
 from .sweep import all_scenarios_campaign, expand_campaign, load_campaign_file
 
-__all__ = ["main", "build_parser", "parse_param", "render_result"]
+__all__ = ["main", "build_parser", "parse_param", "render_result",
+           "solver_table_markdown"]
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +116,49 @@ def cmd_list(args: argparse.Namespace) -> int:
             print(row["scenario"])
     else:
         print(rows_to_table(rows, title=f"{len(rows)} registered scenarios"))
+    return 0
+
+
+def solver_table_markdown() -> str:
+    """The solver capability table as GitHub markdown (README section)."""
+    rows = capability_rows()
+    headers = list(rows[0])
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(f"`{row[h]}`" if h == "solver" else str(row[h])
+                                       for h in headers) + " |")
+    return "\n".join(lines)
+
+
+def cmd_solvers(args: argparse.Namespace) -> int:
+    if args.problem:
+        from ..core.problem_io import load_problem_json
+
+        try:
+            problem = load_problem_json(args.problem)
+        except (OSError, ValueError, KeyError) as exc:
+            raise _UsageError(f"cannot load problem file {args.problem}: {exc}") from exc
+        rows = []
+        for solver, ok, reason in solvers_for(problem):
+            rows.append({
+                "solver": solver.name,
+                "exactness": solver.exactness,
+                "admissible": ok,
+                "reason": reason or "",
+            })
+        print(rows_to_table(
+            rows, title=f"solver admissibility for {args.problem} ({problem!r})"))
+        return 0
+    rows = capability_rows()
+    if args.names:
+        for row in rows:
+            print(row["solver"])
+    elif args.markdown:
+        print(solver_table_markdown())
+    else:
+        print(rows_to_table(rows, title=f"{len(rows)} registered solvers "
+                                        "(dispatch preference order)"))
     return 0
 
 
@@ -227,6 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--names", action="store_true",
                         help="print bare scenario names only")
     p_list.set_defaults(func=cmd_list)
+
+    p_solvers = sub.add_parser(
+        "solvers", help="show the solver registry with capability columns")
+    p_solvers.add_argument("--names", action="store_true",
+                           help="print bare solver names only")
+    p_solvers.add_argument("--markdown", action="store_true",
+                           help="emit the capability table as markdown "
+                                "(the README section is generated this way)")
+    p_solvers.add_argument("--problem", default=None, metavar="FILE",
+                           help="report admissibility of every solver for a "
+                                "problem-instance JSON file instead")
+    p_solvers.set_defaults(func=cmd_solvers)
 
     p_run = sub.add_parser("run", help="run one scenario and print its table")
     p_run.add_argument("scenario", help="registry name or experiment id (e7)")

@@ -1,4 +1,4 @@
-"""The scenario registry: every experiment E1-E12 as a named scenario.
+"""The scenario registry: every experiment E1-E13 as a named scenario.
 
 Each entry binds one ``repro.experiments.run_*`` driver to its canonical
 parameters (the table the corresponding ``benchmarks/bench_e*.py`` wrapper
@@ -22,6 +22,7 @@ from ..experiments import (
     run_np_hardness_experiment,
     run_reliability_simulation_experiment,
     run_series_parallel_experiment,
+    run_solver_ablation_experiment,
     run_tricrit_chain_experiment,
     run_tricrit_fork_experiment,
     run_vdd_lp_experiment,
@@ -229,4 +230,23 @@ register(ScenarioSpec(
                heuristics=("critical_path", "min_loaded", "random")),
     dag_family="layered", platform="multi", speed_model="continuous",
     fault_model="monte-carlo", solver="convex + simulation:batch",
+))
+
+# ----------------------------------------------------------------------
+# E13: cross-solver ablation through the solver registry
+# ----------------------------------------------------------------------
+register(ScenarioSpec(
+    name="e13-solver-ablation",
+    experiment="E13",
+    title="Solver-registry ablation: every admissible solver per DAG family",
+    runner=run_solver_ablation_experiment,
+    defaults=dict(families=("chain", "fork", "series-parallel", "dag"),
+                  sizes=(5,), slacks=(2.0,), dag_shapes=((3, 2),),
+                  num_processors=3, problem="tricrit", speeds="continuous",
+                  solver="admissible", frel=None, problem_files=(), seed=59),
+    smoke=dict(families=("chain", "fork"), sizes=(3,)),
+    dag_family="mixed", platform="multi", speed_model="continuous",
+    fault_model="analytic", solver="registry (solver parameter sweepable)",
+    columns=("family", "instance", "tasks", "solver", "exactness", "status",
+             "energy", "ratio_to_exact"),
 ))

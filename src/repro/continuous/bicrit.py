@@ -22,7 +22,7 @@ import math
 
 from ..core.problems import BiCritProblem, SolveResult
 from ..core.schedule import Schedule, TaskDecision
-from ..dag.series_parallel import NotSeriesParallelError
+from ..solvers.context import SolverContext
 from .closed_form import (
     ClosedFormSolution,
     NoFeasibleSpeedError,
@@ -49,23 +49,9 @@ def _closed_form_to_result(problem: BiCritProblem, solution: ClosedFormSolution,
                        metadata={"route": route, "closed_form_energy": solution.energy})
 
 
-def _fully_parallel_mapping(problem: BiCritProblem) -> bool:
-    """Does every processor hold at most one task (closed-form fork setting)?"""
-    return all(len(tasks) <= 1 for tasks in problem.mapping.as_lists())
-
-
-def _mapping_adds_no_edges(problem: BiCritProblem) -> bool:
-    """True when the augmented graph equals the precedence graph.
-
-    The series-parallel closed form is only valid when the mapping does not
-    serialise tasks beyond the precedence constraints (each parallel branch
-    runs on its own processor chain).
-    """
-    return set(problem.mapping.augmented_graph().edges()) == set(problem.graph.edges())
-
-
 def solve_bicrit_continuous(problem: BiCritProblem, *, prefer_closed_form: bool = True,
-                            method: str = "auto") -> SolveResult:
+                            method: str = "auto",
+                            context: SolverContext | None = None) -> SolveResult:
     """Solve BI-CRIT under the CONTINUOUS model, choosing the best route.
 
     With ``prefer_closed_form`` (default) the structure of the instance is
@@ -76,15 +62,19 @@ def solve_bicrit_continuous(problem: BiCritProblem, *, prefer_closed_form: bool 
     violate the platform bounds) is solved by the numerical convex program,
     selected by ``method`` (``"auto"``, ``"slsqp"`` or ``"trust-constr"``).
     The returned :class:`~repro.core.problems.SolveResult` carries the chosen
-    route in its metadata.
+    route in its metadata.  The structure probes come from the problem's
+    memoized :class:`~repro.solvers.context.SolverContext` (pass ``context``
+    to share an already-built one), so repeated solves of the same instance
+    classify it once.
     """
     graph = problem.graph
     platform = problem.platform
+    ctx = context if context is not None else SolverContext.for_problem(problem)
 
     if prefer_closed_form:
         # Route 1: single-processor chain (or any graph fully serialised on
         # one processor -- then only the serialisation order matters).
-        if problem.mapping.is_single_processor():
+        if ctx.is_single_processor:
             order = problem.mapping.tasks_on(0)
             try:
                 solution = chain_bicrit(
@@ -99,8 +89,8 @@ def solve_bicrit_continuous(problem: BiCritProblem, *, prefer_closed_form: bool 
                                    metadata={"message": str(exc)})
 
         # Route 2: fork theorem.
-        is_fork, source = graph.is_fork()
-        if is_fork and _fully_parallel_mapping(problem) and graph.num_tasks > 1:
+        source = ctx.fork_source
+        if source is not None and ctx.one_task_per_processor and graph.num_tasks > 1:
             children = [t for t in graph.tasks() if t != source]
             try:
                 solution = fork_bicrit(
@@ -118,16 +108,18 @@ def solve_bicrit_continuous(problem: BiCritProblem, *, prefer_closed_form: bool 
 
         # Route 3: series-parallel equivalent-weight recursion (only valid
         # when the mapping does not add serialisation and the resulting
-        # speeds respect the bounds).
-        if _mapping_adds_no_edges(problem):
+        # speeds respect the bounds).  The decomposition tree is memoized on
+        # the context, so the recursion reuses it instead of re-decomposing.
+        if ctx.mapping_adds_no_edges and ctx.sp_decomposition is not None:
             try:
                 solution = series_parallel_bicrit(
-                    graph, problem.deadline, fmax=platform.fmax, fmin=platform.fmin,
+                    ctx.sp_decomposition, problem.deadline,
+                    fmax=platform.fmax, fmin=platform.fmin,
                     exponent=platform.energy_model.exponent,
                 )
                 if solution.within_bounds:
                     return _closed_form_to_result(problem, solution, "series_parallel")
-            except (NotSeriesParallelError, NoFeasibleSpeedError):
+            except NoFeasibleSpeedError:
                 pass
 
     # Route 4: general convex program.

@@ -20,20 +20,26 @@ import itertools
 import math
 
 from ..core.problems import SolveResult, TriCritProblem
+from ..solvers.context import SolverContext
+from ..solvers.limits import BEST_KNOWN_EXHAUSTIVE_LIMIT, EXHAUSTIVE_SUBSET_MAX_TASKS
 from .heuristics import best_of_heuristics, solve_with_reexec_set
 
 __all__ = ["solve_tricrit_exhaustive", "best_known_tricrit"]
 
 
-def solve_tricrit_exhaustive(problem: TriCritProblem, *, max_tasks: int = 14,
+def solve_tricrit_exhaustive(problem: TriCritProblem, *,
+                             max_tasks: int = EXHAUSTIVE_SUBSET_MAX_TASKS,
                              method: str = "auto") -> SolveResult:
     """Global optimum of TRI-CRIT CONTINUOUS by subset enumeration.
 
     ``max_tasks`` bounds the number of positive-weight tasks (the number of
-    restricted convex solves is ``2^n``).  The metadata reports how many
+    restricted convex solves is ``2^n``); it defaults to the central
+    :data:`~repro.solvers.limits.EXHAUSTIVE_SUBSET_MAX_TASKS` shared with
+    the VDD-HOPPING subset enumeration.  The metadata reports how many
     subsets were evaluated.
     """
-    positive = [t for t in problem.graph.tasks() if problem.graph.weight(t) > 0]
+    ctx = SolverContext.for_problem(problem)
+    positive = list(ctx.positive_tasks)
     if len(positive) > max_tasks:
         raise ValueError(
             f"exhaustive TRI-CRIT limited to {max_tasks} tasks (got {len(positive)})"
@@ -43,7 +49,8 @@ def solve_tricrit_exhaustive(problem: TriCritProblem, *, max_tasks: int = 14,
     for r in range(len(positive) + 1):
         for subset in itertools.combinations(positive, r):
             candidate = solve_with_reexec_set(problem, subset, method=method,
-                                              solver_name="tricrit-exhaustive")
+                                              solver_name="tricrit-exhaustive",
+                                              context=ctx)
             evaluated += 1
             if candidate.feasible and (best is None or candidate.energy < best.energy):
                 best = candidate
@@ -57,7 +64,8 @@ def solve_tricrit_exhaustive(problem: TriCritProblem, *, max_tasks: int = 14,
     return best
 
 
-def best_known_tricrit(problem: TriCritProblem, *, exhaustive_limit: int = 10,
+def best_known_tricrit(problem: TriCritProblem, *,
+                       exhaustive_limit: int = BEST_KNOWN_EXHAUSTIVE_LIMIT,
                        method: str = "auto") -> SolveResult:
     """Best-known solution: exhaustive when small enough, heuristics otherwise."""
     positive = [t for t in problem.graph.tasks() if problem.graph.weight(t) > 0]

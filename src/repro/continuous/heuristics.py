@@ -38,8 +38,8 @@ from typing import Iterable
 from ..core.problems import SolveResult, TriCritProblem
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
+from ..solvers.context import SolverContext
 from .convex import ConvexResult, solve_bicrit_convex
-from .tricrit_chain import reexecution_speed_floor
 
 __all__ = [
     "solve_with_reexec_set",
@@ -52,10 +52,12 @@ __all__ = [
 
 
 def _restricted_convex(problem: TriCritProblem, reexec: frozenset[TaskId], *,
-                       method: str = "auto") -> ConvexResult:
+                       method: str = "auto",
+                       context: SolverContext | None = None) -> ConvexResult:
+    ctx = context if context is not None else SolverContext.for_problem(problem)
     graph = problem.graph
     platform = problem.platform
-    model = problem.reliability()
+    model = ctx.reliability
     effective = {}
     min_speed = {}
     frel = max(model.frel, platform.fmin)
@@ -63,7 +65,9 @@ def _restricted_convex(problem: TriCritProblem, reexec: frozenset[TaskId], *,
         w = graph.weight(t)
         if t in reexec and w > 0:
             effective[t] = 2.0 * w
-            min_speed[t] = reexecution_speed_floor(model, w, platform.fmin)
+            # Memoized on the context: the subset enumerations query the
+            # same per-task floors for every one of their 2^n solves.
+            min_speed[t] = ctx.reexecution_floor(t)
         else:
             effective[t] = w
             min_speed[t] = frel if w > 0 else platform.fmin
@@ -74,14 +78,15 @@ def _restricted_convex(problem: TriCritProblem, reexec: frozenset[TaskId], *,
 
 def solve_with_reexec_set(problem: TriCritProblem, reexec: Iterable[TaskId], *,
                           method: str = "auto",
-                          solver_name: str = "tricrit-restricted") -> SolveResult:
+                          solver_name: str = "tricrit-restricted",
+                          context: SolverContext | None = None) -> SolveResult:
     """Optimal continuous speeds for a *fixed* re-execution set.
 
     Returns an infeasible :class:`SolveResult` when even the maximum speeds
     cannot accommodate the chosen re-executions within the deadline.
     """
     reexec_set = frozenset(t for t in reexec if problem.graph.weight(t) > 0)
-    result = _restricted_convex(problem, reexec_set, method=method)
+    result = _restricted_convex(problem, reexec_set, method=method, context=context)
     if not result.feasible:
         return SolveResult(schedule=None, energy=math.inf, status="infeasible",
                            solver=solver_name,
@@ -109,10 +114,11 @@ def solve_with_reexec_set(problem: TriCritProblem, reexec: Iterable[TaskId], *,
 
 
 def solve_tricrit_no_reexec(problem: TriCritProblem, *,
-                            method: str = "auto") -> SolveResult:
+                            method: str = "auto",
+                            context: SolverContext | None = None) -> SolveResult:
     """Reliable baseline without any re-execution: every task at >= f_rel."""
     return solve_with_reexec_set(problem, (), method=method,
-                                 solver_name="tricrit-no-reexec")
+                                 solver_name="tricrit-no-reexec", context=context)
 
 
 # ----------------------------------------------------------------------
@@ -140,7 +146,8 @@ def _slacks(problem: TriCritProblem, schedule: Schedule) -> dict[TaskId, float]:
 
 
 def _energy_gain_estimate(problem: TriCritProblem, schedule: Schedule,
-                          slacks: dict[TaskId, float], task: TaskId) -> float:
+                          slacks: dict[TaskId, float], task: TaskId,
+                          ctx: SolverContext) -> float:
     """Optimistic estimate of the energy saved by re-executing ``task``.
 
     Compares the current single-execution energy with the cheapest
@@ -148,7 +155,6 @@ def _energy_gain_estimate(problem: TriCritProblem, schedule: Schedule,
     """
     graph = problem.graph
     platform = problem.platform
-    model = problem.reliability()
     w = graph.weight(task)
     if w <= 0:
         return -math.inf
@@ -157,7 +163,7 @@ def _energy_gain_estimate(problem: TriCritProblem, schedule: Schedule,
     budget = decision.worst_case_duration + max(slacks.get(task, 0.0), 0.0)
     if budget <= 0:
         return -math.inf
-    floor = reexecution_speed_floor(model, w, platform.fmin)
+    floor = ctx.reexecution_floor(task)
     speed = max(2.0 * w / budget, floor)
     if speed > platform.fmax * (1.0 + 1e-12):
         return -math.inf
@@ -168,7 +174,8 @@ def _energy_gain_estimate(problem: TriCritProblem, schedule: Schedule,
 def _greedy_growth(problem: TriCritProblem, *, score: str,
                    candidates_per_round: int, method: str,
                    solver_name: str) -> SolveResult:
-    current = solve_tricrit_no_reexec(problem, method=method)
+    ctx = SolverContext.for_problem(problem)
+    current = solve_tricrit_no_reexec(problem, method=method, context=ctx)
     if not current.feasible:
         return SolveResult(schedule=None, energy=math.inf, status="infeasible",
                            solver=solver_name,
@@ -187,7 +194,7 @@ def _greedy_growth(problem: TriCritProblem, *, score: str,
         if score == "energy_gain":
             scored = sorted(
                 remaining,
-                key=lambda t: _energy_gain_estimate(problem, schedule, slacks, t),
+                key=lambda t: _energy_gain_estimate(problem, schedule, slacks, t, ctx),
                 reverse=True,
             )
         elif score == "slack":
@@ -198,7 +205,7 @@ def _greedy_growth(problem: TriCritProblem, *, score: str,
         best_task: TaskId | None = None
         for t in scored[:candidates_per_round]:
             candidate = solve_with_reexec_set(problem, reexec | {t}, method=method,
-                                              solver_name=solver_name)
+                                              solver_name=solver_name, context=ctx)
             solves += 1
             if candidate.feasible and candidate.energy < (
                 best_candidate.energy if best_candidate else current.energy

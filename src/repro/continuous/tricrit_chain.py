@@ -37,6 +37,7 @@ from ..core.reliability import ReliabilityModel
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
 from ..optimize.allocation import allocate_durations_with_bounds
+from ..solvers.limits import CHAIN_EXACT_MAX_TASKS
 
 __all__ = [
     "ChainTriCritSolution",
@@ -146,7 +147,7 @@ def _to_solve_result(problem: TriCritProblem, best: ChainTriCritSolution,
 
 
 def solve_tricrit_chain_exact(problem: TriCritProblem, *,
-                              max_tasks: int = 22) -> SolveResult:
+                              max_tasks: int = CHAIN_EXACT_MAX_TASKS) -> SolveResult:
     """Exhaustive optimum over all re-execution subsets of a chain.
 
     The enumeration is exponential in the number of tasks (the problem is

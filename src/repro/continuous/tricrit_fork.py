@@ -40,6 +40,7 @@ from ..core.problems import SolveResult, TriCritProblem
 from ..core.reliability import ReliabilityModel
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
+from ..solvers.limits import FORK_BRUTEFORCE_MAX_TASKS
 from .tricrit_chain import reexecution_speed_floor
 
 __all__ = [
@@ -273,7 +274,7 @@ def solve_tricrit_fork(problem: TriCritProblem, *, grid_per_interval: int = 8) -
 
 
 def solve_tricrit_fork_bruteforce(problem: TriCritProblem, *,
-                                  max_tasks: int = 16) -> SolveResult:
+                                  max_tasks: int = FORK_BRUTEFORCE_MAX_TASKS) -> SolveResult:
     """Exhaustive reference: enumerate every re-execution configuration.
 
     For each of the ``2^(n+1)`` configurations the energy is a convex

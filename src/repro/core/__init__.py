@@ -8,6 +8,12 @@ from .problems import (
     SolveResult,
     TriCritProblem,
 )
+from .problem_io import (
+    load_problem_json,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem_json,
+)
 from .reliability import ReliabilityModel
 from .rng import resolve_seed, spawn_child_seeds
 from .schedule import Execution, Schedule, ScheduleViolation, TaskDecision
@@ -37,6 +43,10 @@ __all__ = [
     "SolutionReport",
     "SolveResult",
     "InfeasibleProblemError",
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem_json",
+    "load_problem_json",
     "SpeedModel",
     "ContinuousSpeeds",
     "DiscreteSpeeds",

@@ -1,0 +1,157 @@
+"""JSON (de)serialisation of BI-CRIT / TRI-CRIT problem instances.
+
+Mirrors the conventions of :mod:`repro.dag.io` (format-versioned dicts,
+``save``/``load`` JSON helpers): a problem file bundles the task graph, the
+ordered task-to-processor mapping, the platform (speed model, energy model,
+reliability model) and the deadline, so a campaign can reference a concrete
+problem-instance file instead of regenerating instances from generator
+parameters.  The solver-ablation experiment (E13) accepts such files via its
+``problem_files`` parameter, and ``python -m repro solvers --problem FILE``
+reports which registry solvers admit the stored instance.
+
+As in :mod:`repro.dag.io`, task identifiers are stringified on write, so a
+round trip canonicalises ids to strings (weights, edges, mapping order and
+every model parameter are preserved exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..dag.io import taskgraph_from_dict, taskgraph_to_dict
+from .energy import EnergyModel
+from .problems import BiCritProblem, TriCritProblem
+from .reliability import ReliabilityModel
+from .speeds import (
+    ContinuousSpeeds,
+    DiscreteSpeeds,
+    IncrementalSpeeds,
+    SpeedModel,
+    VddHoppingSpeeds,
+)
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem_json",
+    "load_problem_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# model pieces
+# ----------------------------------------------------------------------
+def _speed_model_to_dict(model: SpeedModel) -> dict[str, Any]:
+    if isinstance(model, IncrementalSpeeds):
+        return {"kind": "incremental", "fmin": model.fmin,
+                "fmax": model.physical_fmax, "delta": model.delta}
+    if isinstance(model, VddHoppingSpeeds):
+        return {"kind": "vdd", "speeds": list(model.speeds)}
+    if isinstance(model, DiscreteSpeeds):
+        return {"kind": "discrete", "speeds": list(model.speeds)}
+    if isinstance(model, ContinuousSpeeds):
+        return {"kind": "continuous", "fmin": model.fmin, "fmax": model.fmax}
+    raise TypeError(f"cannot serialise speed model {type(model).__name__}")
+
+
+def _speed_model_from_dict(data: dict[str, Any]) -> SpeedModel:
+    kind = data.get("kind")
+    if kind == "continuous":
+        return ContinuousSpeeds(float(data["fmin"]), float(data["fmax"]))
+    if kind == "discrete":
+        return DiscreteSpeeds([float(s) for s in data["speeds"]])
+    if kind == "vdd":
+        return VddHoppingSpeeds([float(s) for s in data["speeds"]])
+    if kind == "incremental":
+        return IncrementalSpeeds(float(data["fmin"]), float(data["fmax"]),
+                                 float(data["delta"]))
+    raise ValueError(f"unknown speed model kind {kind!r}")
+
+
+def _reliability_to_dict(model: ReliabilityModel | None) -> dict[str, Any] | None:
+    if model is None:
+        return None
+    return {"fmin": model.fmin, "fmax": model.fmax, "lambda0": model.lambda0,
+            "sensitivity": model.sensitivity, "frel": model.frel}
+
+
+def _reliability_from_dict(data: dict[str, Any] | None) -> ReliabilityModel | None:
+    if data is None:
+        return None
+    return ReliabilityModel(fmin=float(data["fmin"]), fmax=float(data["fmax"]),
+                            lambda0=float(data["lambda0"]),
+                            sensitivity=float(data["sensitivity"]),
+                            frel=None if data.get("frel") is None else float(data["frel"]))
+
+
+# ----------------------------------------------------------------------
+# problems
+# ----------------------------------------------------------------------
+def problem_to_dict(problem: BiCritProblem) -> dict[str, Any]:
+    """JSON-serialisable representation of a BI-CRIT / TRI-CRIT instance."""
+    platform = problem.platform
+    payload: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "tricrit" if isinstance(problem, TriCritProblem) else "bicrit",
+        "deadline": float(problem.deadline),
+        "graph": taskgraph_to_dict(problem.graph),
+        "mapping": [[str(t) for t in tasks] for tasks in problem.mapping.as_lists()],
+        "platform": {
+            "num_processors": platform.num_processors,
+            "speed_model": _speed_model_to_dict(platform.speed_model),
+            "energy_model": {"exponent": platform.energy_model.exponent,
+                             "static_power": platform.energy_model.static_power},
+            "reliability_model": _reliability_to_dict(platform.reliability_model),
+        },
+    }
+    if isinstance(problem, TriCritProblem):
+        payload["reliability_model"] = _reliability_to_dict(problem.reliability_model)
+    return payload
+
+
+def problem_from_dict(data: dict[str, Any]) -> BiCritProblem:
+    """Inverse of :func:`problem_to_dict` (task ids come back as strings)."""
+    from ..platform.mapping import Mapping
+    from ..platform.platform import Platform
+
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported problem format version {version}")
+    kind = data.get("kind", "bicrit")
+    if kind not in ("bicrit", "tricrit"):
+        raise ValueError(f"unknown problem kind {kind!r}")
+
+    graph = taskgraph_from_dict(data["graph"])
+    mapping = Mapping(data["mapping"], graph)
+    platform_data = data["platform"]
+    platform = Platform(
+        num_processors=int(platform_data["num_processors"]),
+        speed_model=_speed_model_from_dict(platform_data["speed_model"]),
+        energy_model=EnergyModel(
+            exponent=float(platform_data["energy_model"]["exponent"]),
+            static_power=float(platform_data["energy_model"]["static_power"]),
+        ),
+        reliability_model=_reliability_from_dict(platform_data.get("reliability_model")),
+    )
+    deadline = float(data["deadline"])
+    if kind == "tricrit":
+        return TriCritProblem(
+            mapping=mapping, platform=platform, deadline=deadline,
+            reliability_model=_reliability_from_dict(data.get("reliability_model")),
+        )
+    return BiCritProblem(mapping=mapping, platform=platform, deadline=deadline)
+
+
+def save_problem_json(problem: BiCritProblem, path: str | Path) -> None:
+    """Write a problem instance to a JSON file."""
+    Path(path).write_text(
+        json.dumps(problem_to_dict(problem), indent=2, sort_keys=True))
+
+
+def load_problem_json(path: str | Path) -> BiCritProblem:
+    """Read a problem instance written by :func:`save_problem_json`."""
+    return problem_from_dict(json.loads(Path(path).read_text()))

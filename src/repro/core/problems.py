@@ -135,6 +135,15 @@ class BiCritProblem:
         """Energy of the trivial feasible schedule (everything at fmax)."""
         return Schedule.uniform_speed(self.mapping, self.platform, self.fmax).energy()
 
+    def context(self):
+        """The instance's memoized :class:`~repro.solvers.context.SolverContext`.
+
+        Lazy import: ``repro.core`` sits below the solver layer.
+        """
+        from ..solvers.context import SolverContext
+
+        return SolverContext.for_problem(self)
+
     def energy_lower_bound(self) -> float:
         """Per-task relaxation: each task alone within D at the best allowed speed.
 

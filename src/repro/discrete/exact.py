@@ -33,6 +33,7 @@ from ..core.schedule import Schedule, TaskDecision
 from ..core.speeds import DiscreteSpeeds
 from ..dag.taskgraph import TaskId
 from ..lp import LinearProgram, LPStatus, solve_with_branch_and_bound, solve_with_scipy
+from ..solvers.limits import DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS
 
 __all__ = [
     "solve_bicrit_discrete_milp",
@@ -148,8 +149,9 @@ def solve_bicrit_discrete_milp(problem: BiCritProblem, *, backend: str = "scipy"
                                  metadata)
 
 
-def solve_bicrit_discrete_bruteforce(problem: BiCritProblem, *,
-                                     max_assignments: int = 2_000_000) -> SolveResult:
+def solve_bicrit_discrete_bruteforce(
+        problem: BiCritProblem, *,
+        max_assignments: int = DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS) -> SolveResult:
     """Enumerate every mode assignment (exponential; tiny instances only)."""
     speeds = _discrete_speeds(problem)
     graph = problem.graph

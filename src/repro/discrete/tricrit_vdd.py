@@ -29,7 +29,8 @@ import math
 from ..core.problems import SolveResult, TriCritProblem
 from ..core.speeds import VddHoppingSpeeds
 from ..continuous.heuristics import best_of_heuristics, solve_with_reexec_set
-from ..platform.platform import Platform
+from ..solvers.context import SolverContext
+from ..solvers.limits import EXHAUSTIVE_SUBSET_MAX_TASKS
 from .rounding import round_schedule_to_vdd
 
 __all__ = ["solve_tricrit_vdd_heuristic", "solve_tricrit_vdd_exact"]
@@ -76,7 +77,8 @@ def solve_tricrit_vdd_heuristic(problem: TriCritProblem, *,
     return _round_result(problem, continuous, "tricrit-vdd-heuristic")
 
 
-def solve_tricrit_vdd_exact(problem: TriCritProblem, *, max_tasks: int = 12,
+def solve_tricrit_vdd_exact(problem: TriCritProblem, *,
+                            max_tasks: int = EXHAUSTIVE_SUBSET_MAX_TASKS,
                             method: str = "auto") -> SolveResult:
     """Subset enumeration for TRI-CRIT VDD-HOPPING (small instances).
 
@@ -86,6 +88,11 @@ def solve_tricrit_vdd_exact(problem: TriCritProblem, *, max_tasks: int = 12,
     of every execution).  The minimum over subsets is returned together with
     the number of subsets evaluated -- the exponential factor that the
     NP-completeness result predicts cannot be avoided in general.
+
+    ``max_tasks`` defaults to the same central
+    :data:`~repro.solvers.limits.EXHAUSTIVE_SUBSET_MAX_TASKS` as the
+    CONTINUOUS subset enumeration (it used to be 12 here and 14 there for
+    the identical ``2^n`` cost).
     """
     if not isinstance(problem.platform.speed_model, VddHoppingSpeeds):
         raise TypeError("solve_tricrit_vdd_exact needs a VddHoppingSpeeds platform")
@@ -95,11 +102,13 @@ def solve_tricrit_vdd_exact(problem: TriCritProblem, *, max_tasks: int = 12,
             f"exact VDD TRI-CRIT limited to {max_tasks} tasks (got {len(positive)})"
         )
     twin = _continuous_twin_problem(problem)
+    twin_ctx = SolverContext.for_problem(twin)
     best: SolveResult | None = None
     evaluated = 0
     for r in range(len(positive) + 1):
         for subset in itertools.combinations(positive, r):
-            continuous = solve_with_reexec_set(twin, subset, method=method)
+            continuous = solve_with_reexec_set(twin, subset, method=method,
+                                               context=twin_ctx)
             evaluated += 1
             if not continuous.feasible:
                 continue

@@ -1,10 +1,13 @@
 """Experiment harness: instance suites, experiment runners and reporting.
 
-One ``run_*`` function per experiment of the index E1-E12 (tabulated in the
+One ``run_*`` function per experiment of the index E1-E13 (tabulated in the
 root ``README.md``); the campaign registry (``repro.campaign``) names each
 runner as a parameterised scenario, and the benchmark modules under
 ``benchmarks/`` are thin wrappers over those registry entries that print
-the tables and time the interesting kernels with pytest-benchmark.
+the tables and time the interesting kernels with pytest-benchmark.  The
+drivers obtain their solvers through the registry dispatcher
+(:func:`repro.solvers.solve`), so every experiment exercises the same entry
+points the ablation sweep (E13) and the public API expose.
 
 Every ``run_*`` entry point accepts ``seed: int | numpy.random.Generator |
 None`` (resolved through :func:`repro.core.rng.resolve_seed`): ``None``
@@ -47,6 +50,7 @@ from .pareto import (
     pareto_filter,
 )
 from .reporting import ascii_table, format_value, print_table, rows_to_table
+from .solver_ablation import ABLATION_FAMILIES, run_solver_ablation_experiment
 from .tricrit_experiments import (
     run_heuristic_comparison_experiment,
     run_tricrit_chain_experiment,
@@ -84,4 +88,6 @@ __all__ = [
     "run_vdd_rounding_experiment",
     "run_reliability_simulation_experiment",
     "run_mapping_ablation_experiment",
+    "run_solver_ablation_experiment",
+    "ABLATION_FAMILIES",
 ]

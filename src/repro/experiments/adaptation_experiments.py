@@ -18,19 +18,15 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.problems import BiCritProblem, TriCritProblem
+from ..core.problems import BiCritProblem
 from ..core.rng import resolve_seed
 from ..core.schedule import Schedule, TaskDecision
 from ..core.speeds import VddHoppingSpeeds
-from ..continuous.bicrit import solve_bicrit_continuous
-from ..continuous.heuristics import best_of_heuristics
 from ..continuous.tricrit_chain import reexecution_speed_floor
 from ..dag import generators
-from ..discrete.tricrit_vdd import solve_tricrit_vdd_heuristic
-from ..discrete.vdd_lp import solve_bicrit_vdd_lp
 from ..platform.list_scheduling import MAPPING_HEURISTICS
+from ..solvers import solve
 from ..platform.mapping import Mapping
-from ..platform.platform import Platform
 from ..simulation.montecarlo import run_monte_carlo
 from .instances import (
     DEFAULT_SPEED_RANGE,
@@ -62,16 +58,16 @@ def run_vdd_rounding_experiment(*, specs: Sequence[InstanceSpec] | None = None,
     rows = []
     for spec in specs:
         continuous_problem = tricrit_problem(spec, speeds="continuous", frel=frel)
-        continuous = best_of_heuristics(continuous_problem)
+        continuous = solve(continuous_problem, solver="tricrit-best-of")
         for m in mode_counts:
             modes = np.linspace(fmin, fmax, m)
             vdd_problem = tricrit_problem(spec, speeds=VddHoppingSpeeds(modes),
                                           frel=frel)
-            adapted = solve_tricrit_vdd_heuristic(vdd_problem)
-            bicrit_lp = solve_bicrit_vdd_lp(BiCritProblem(
+            adapted = solve(vdd_problem, solver="tricrit-vdd-heuristic")
+            bicrit_lp = solve(BiCritProblem(
                 mapping=vdd_problem.mapping, platform=vdd_problem.platform,
                 deadline=vdd_problem.deadline,
-            ))
+            ), solver="bicrit-vdd-lp")
             rows.append({
                 "instance": spec.name,
                 "family": spec.family,
@@ -186,7 +182,7 @@ def run_mapping_ablation_experiment(*, shapes: Sequence[tuple[int, int]] = ((4, 
                     "simulated_mean_makespan": float("nan"),
                 })
                 continue
-            optimum = solve_bicrit_continuous(problem)
+            optimum = solve(problem)    # auto-dispatch: convex on general DAGs
             row = {
                 "instance": f"layered-{layers}x{width}",
                 "mapping": name,

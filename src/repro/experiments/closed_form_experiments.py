@@ -22,14 +22,14 @@ from ..baselines import local_slack_reclaiming, no_dvfs, uniform_slowdown
 from ..core.problems import BiCritProblem
 from ..core.rng import resolve_seed
 from ..core.speeds import ContinuousSpeeds
-from ..continuous.bicrit import solve_bicrit_continuous
 from ..continuous.closed_form import fork_energy, series_parallel_bicrit
 from ..continuous.convex import solve_bicrit_convex
+from ..solvers import solve
 from ..dag import generators
 from ..dag.analysis import energy_lower_bound
 from ..platform.mapping import Mapping
 from ..platform.platform import Platform
-from .instances import DEFAULT_SPEED_RANGE, bicrit_problem, layered_suite
+from .instances import bicrit_problem, layered_suite
 
 __all__ = [
     "run_fork_closed_form_experiment",
@@ -66,7 +66,7 @@ def run_fork_closed_form_experiment(*, sizes: Sequence[int] = (2, 4, 8, 16, 32),
             deadline = slack * graph.critical_path_weight()
             problem = BiCritProblem(mapping=mapping, platform=platform,
                                     deadline=deadline)
-            closed = solve_bicrit_continuous(problem)
+            closed = solve(problem, solver="bicrit-closed-form")
             formula = fork_energy(w0, child_weights, deadline)
             numeric = solve_bicrit_convex(mapping, platform, deadline)
             rel_gap = abs(numeric.energy - closed.energy) / max(closed.energy, 1e-12)
@@ -129,7 +129,7 @@ def run_convex_dag_experiment(*, num_processors: int = 4,
                           slacks=(slack,), seed=seed)
     for spec in specs:
         problem = bicrit_problem(spec, speeds="continuous")
-        optimum = solve_bicrit_continuous(problem)
+        optimum = solve(problem)        # auto-dispatch: convex on general DAGs
         fmax_baseline = no_dvfs(problem)
         uniform = uniform_slowdown(problem)
         local = local_slack_reclaiming(problem)

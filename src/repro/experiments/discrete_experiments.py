@@ -30,16 +30,12 @@ from ..complexity.scaling import (
 from ..core.problems import BiCritProblem
 from ..core.rng import resolve_seed
 from ..core.speeds import DiscreteSpeeds, IncrementalSpeeds, VddHoppingSpeeds
-from ..continuous.bicrit import solve_bicrit_continuous
 from ..dag import generators
-from ..discrete.exact import solve_bicrit_discrete_milp
-from ..discrete.incremental_approx import (
-    approximation_bound,
-    solve_bicrit_incremental_approx,
-)
-from ..discrete.vdd_lp import solve_bicrit_vdd_lp, two_speed_structure
+from ..discrete.incremental_approx import approximation_bound
+from ..discrete.vdd_lp import two_speed_structure
 from ..platform.mapping import Mapping
 from ..platform.platform import Platform
+from ..solvers import solve
 
 __all__ = [
     "run_vdd_lp_experiment",
@@ -93,9 +89,9 @@ def run_vdd_lp_experiment(*, modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                           _layered_problem(4, 3, 3, seed + 50, VddHoppingSpeeds(modes), slack)))
 
     for name, problem in instances:
-        vdd = solve_bicrit_vdd_lp(problem, backend="scipy")
+        vdd = solve(problem, solver="bicrit-vdd-lp", backend="scipy")
         structure = two_speed_structure(vdd.require_schedule())
-        continuous = solve_bicrit_continuous(BiCritProblem(
+        continuous = solve(BiCritProblem(
             mapping=problem.mapping,
             platform=problem.platform.continuous_twin(),
             deadline=problem.deadline,
@@ -105,7 +101,8 @@ def run_vdd_lp_experiment(*, modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
             platform=problem.platform.with_speed_model(DiscreteSpeeds(modes)),
             deadline=problem.deadline,
         )
-        discrete = solve_bicrit_discrete_milp(discrete_problem, backend="scipy")
+        discrete = solve(discrete_problem, solver="bicrit-discrete-milp",
+                         backend="scipy")
         row = {
             "instance": name,
             "tasks": problem.graph.num_tasks,
@@ -118,7 +115,7 @@ def run_vdd_lp_experiment(*, modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
             "consecutive_pairs": structure.all_pairs_consecutive,
         }
         if compare_backends and problem.graph.num_tasks <= 10:
-            simplex = solve_bicrit_vdd_lp(problem, backend="simplex")
+            simplex = solve(problem, solver="bicrit-vdd-lp", backend="simplex")
             row["simplex_energy"] = simplex.energy
             row["backend_gap"] = abs(simplex.energy - vdd.energy) / max(vdd.energy, 1e-12)
         rows.append(row)
@@ -191,7 +188,7 @@ def run_incremental_approx_experiment(*, deltas: Sequence[float] = (0.05, 0.1, 0
                           _layered_problem(4, 3, 3, seed + 5,
                                            IncrementalSpeeds(fmin, fmax, deltas[0]), slack)))
     for name, base_problem in instances:
-        continuous = solve_bicrit_continuous(BiCritProblem(
+        continuous = solve(BiCritProblem(
             mapping=base_problem.mapping,
             platform=base_problem.platform.continuous_twin(),
             deadline=base_problem.deadline,
@@ -203,7 +200,7 @@ def run_incremental_approx_experiment(*, deltas: Sequence[float] = (0.05, 0.1, 0
                 platform=base_problem.platform.with_speed_model(speed_model),
                 deadline=base_problem.deadline,
             )
-            approx = solve_bicrit_incremental_approx(problem, K=K)
+            approx = solve(problem, solver="bicrit-incremental-approx", K=K)
             bound = approximation_bound(speed_model, K=K)
             ratio = approx.energy / continuous.energy
             rows.append({

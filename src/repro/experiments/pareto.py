@@ -24,10 +24,10 @@ import numpy as np
 
 from ..core.problems import BiCritProblem, TriCritProblem
 from ..core.reliability import ReliabilityModel
-from ..continuous.bicrit import solve_bicrit_continuous
 from ..continuous.exhaustive import best_known_tricrit
 from ..platform.mapping import Mapping
 from ..platform.platform import Platform
+from ..solvers import solve as registry_solve
 
 __all__ = [
     "ParetoPoint",
@@ -69,10 +69,10 @@ def energy_deadline_curve(mapping: Mapping, platform: Platform, *,
     ``slacks`` multiply the tightest feasible deadline (the makespan of the
     mapping at ``fmax``).  A custom ``solver`` taking a
     :class:`BiCritProblem` can be supplied to trace the curve under a
-    discrete model (e.g. the VDD-HOPPING LP); it defaults to the CONTINUOUS
-    dispatcher.
+    discrete model (e.g. the VDD-HOPPING LP); it defaults to the registry's
+    exact-first auto-dispatch, which also handles discrete platforms.
     """
-    solve = solver or solve_bicrit_continuous
+    solve = solver or registry_solve
     graph = mapping.graph
     augmented = mapping.augmented_graph()
     finish: dict = {}

@@ -18,23 +18,8 @@ from typing import Sequence
 import numpy as np
 
 from ..baselines import greedy_reexecution
-from ..core.problems import TriCritProblem
 from ..core.rng import resolve_seed
-from ..continuous.exhaustive import solve_tricrit_exhaustive
-from ..continuous.heuristics import (
-    best_of_heuristics,
-    heuristic_energy_gain,
-    heuristic_parallel_slack,
-    solve_tricrit_no_reexec,
-)
-from ..continuous.tricrit_chain import (
-    solve_tricrit_chain_exact,
-    solve_tricrit_chain_greedy,
-)
-from ..continuous.tricrit_fork import (
-    solve_tricrit_fork,
-    solve_tricrit_fork_bruteforce,
-)
+from ..solvers import solve
 from .instances import (
     InstanceSpec,
     chain_suite,
@@ -63,9 +48,9 @@ def run_tricrit_chain_experiment(*, sizes: Sequence[int] = (4, 6, 8, 10),
     specs = chain_suite(sizes=sizes, slacks=slacks, seed=seed)
     for spec in specs:
         problem = tricrit_problem(spec, speeds="continuous", frel=frel)
-        exact = solve_tricrit_chain_exact(problem)
-        greedy = solve_tricrit_chain_greedy(problem)
-        no_reexec = solve_tricrit_no_reexec(problem)
+        exact = solve(problem, solver="tricrit-chain-exact")
+        greedy = solve(problem, solver="tricrit-chain-greedy")
+        no_reexec = solve(problem, solver="tricrit-no-reexec")
         rows.append({
             "instance": spec.name,
             "tasks": spec.graph.num_tasks,
@@ -94,8 +79,8 @@ def run_tricrit_fork_experiment(*, sizes: Sequence[int] = (2, 4, 6, 8),
     specs = fork_suite(sizes=sizes, slacks=slacks, seed=seed)
     for spec in specs:
         problem = tricrit_problem(spec, speeds="continuous", frel=frel)
-        poly = solve_tricrit_fork(problem)
-        brute = solve_tricrit_fork_bruteforce(problem)
+        poly = solve(problem, solver="tricrit-fork-poly")
+        brute = solve(problem, solver="tricrit-fork-bruteforce")
         rows.append({
             "instance": spec.name,
             "children": spec.graph.num_tasks - 1,
@@ -123,9 +108,9 @@ def run_heuristic_comparison_experiment(*, specs: Sequence[InstanceSpec] | None 
     rows = []
     for spec in specs:
         problem = tricrit_problem(spec, speeds="continuous", frel=frel)
-        no_reexec = solve_tricrit_no_reexec(problem)
-        h_energy = heuristic_energy_gain(problem)
-        h_slack = heuristic_parallel_slack(problem)
+        no_reexec = solve(problem, solver="tricrit-no-reexec")
+        h_energy = solve(problem, solver="tricrit-heuristic-energy-gain")
+        h_slack = solve(problem, solver="tricrit-heuristic-parallel-slack")
         best = h_energy if h_energy.energy <= h_slack.energy else h_slack
         greedy = greedy_reexecution(problem)
         row = {
@@ -144,7 +129,7 @@ def run_heuristic_comparison_experiment(*, specs: Sequence[InstanceSpec] | None 
         }
         if include_reference and sum(1 for t in spec.graph.tasks()
                                      if spec.graph.weight(t) > 0) <= 8:
-            reference = solve_tricrit_exhaustive(problem, max_tasks=8)
+            reference = solve(problem, solver="tricrit-exhaustive", max_tasks=8)
             row["exhaustive"] = reference.energy
             row["best_over_exhaustive"] = (best.energy / reference.energy
                                            if reference.feasible else float("nan"))

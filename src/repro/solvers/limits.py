@@ -1,0 +1,52 @@
+"""Central size limits shared by every exponential / enumerative solver.
+
+Before the solver registry existed each exhaustive entry point carried its
+own hard-coded guard (``max_tasks`` defaulted to 12 in
+:func:`repro.discrete.tricrit_vdd.solve_tricrit_vdd_exact` but 14 in
+:func:`repro.continuous.exhaustive.solve_tricrit_exhaustive`, for the same
+``2^n`` subset enumeration).  The limits now live here, the solver
+descriptors in :mod:`repro.solvers.registry` advertise them as capability
+metadata, and the solver keyword defaults reference the same constants, so
+one number governs one enumeration cost everywhere.
+
+This module must stay import-free of the rest of the package (it is pulled
+in by the algorithm modules while :mod:`repro.solvers` may still be mid
+initialisation).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXHAUSTIVE_SUBSET_MAX_TASKS",
+    "CHAIN_EXACT_MAX_TASKS",
+    "FORK_BRUTEFORCE_MAX_TASKS",
+    "DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS",
+    "DISCRETE_BRUTEFORCE_MAX_TASKS",
+    "BEST_KNOWN_EXHAUSTIVE_LIMIT",
+]
+
+#: Positive-weight task bound for the ``2^n`` re-execution subset
+#: enumerations, shared by TRI-CRIT CONTINUOUS (``solve_tricrit_exhaustive``)
+#: and TRI-CRIT VDD-HOPPING (``solve_tricrit_vdd_exact``).  Each subset costs
+#: one restricted convex solve, so 14 tasks means at most 16384 solves.
+EXHAUSTIVE_SUBSET_MAX_TASKS = 14
+
+#: The chain subset enumeration is cheaper per subset (a closed-form
+#: bounded allocation instead of a convex program), so it affords more tasks.
+CHAIN_EXACT_MAX_TASKS = 22
+
+#: Fork brute force enumerates ``2^(n+1)`` re-execution configurations with a
+#: scalar minimisation each.
+FORK_BRUTEFORCE_MAX_TASKS = 16
+
+#: Cap on the ``m^n`` mode-assignment enumeration of the DISCRETE brute
+#: force (``m`` speed modes, ``n`` tasks).
+DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS = 2_000_000
+
+#: Conservative task bound advertised for the DISCRETE brute force: with the
+#: common 5-mode speed sets, ``5^9 < DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS``.
+DISCRETE_BRUTEFORCE_MAX_TASKS = 9
+
+#: Below this many positive-weight tasks, ``best_known_tricrit`` prefers the
+#: exhaustive optimum over the heuristics as the reference value.
+BEST_KNOWN_EXHAUSTIVE_LIMIT = 10

@@ -1,0 +1,284 @@
+"""The solver registry: every algorithm of the library as a typed descriptor.
+
+The paper's contribution is a *family* of algorithms whose relative merits
+per problem class are exactly what the experiments compare; this registry
+makes that family first-class.  Every entry point of
+:mod:`repro.continuous` and :mod:`repro.discrete` is registered here with
+its capability metadata (problem kind, speed models, structures, exactness,
+size limits), so the dispatcher (:mod:`repro.solvers.dispatch`), the
+ablation experiment (E13), the CLI (``python -m repro solvers``) and the
+README capability table all read from one source of truth.
+
+Entry points are referenced lazily (``"module:callable"`` strings), so this
+module imports none of the algorithm packages and can itself be imported by
+them (for the shared limits) without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.problems import BiCritProblem
+from . import limits
+from .context import SolverContext
+from .descriptors import EXACTNESS_ORDER, Solver
+
+__all__ = [
+    "register_solver",
+    "get_solver",
+    "iter_solvers",
+    "solver_names",
+    "solvers_for",
+    "admissible_solvers",
+    "capability_rows",
+]
+
+_REGISTRY: dict[str, Solver] = {}
+
+#: All structures (general solvers).
+_ANY = frozenset({"chain", "fork", "series-parallel", "dag"})
+_CONTINUOUS = frozenset({"continuous"})
+_VDD = frozenset({"vdd"})
+#: One-mode-per-task models: DISCRETE proper plus its INCREMENTAL special case.
+_MODAL = frozenset({"discrete", "incremental"})
+
+
+def register_solver(solver: Solver) -> Solver:
+    """Add a solver to the registry (names must be unique)."""
+    if solver.name in _REGISTRY:
+        raise ValueError(f"solver {solver.name!r} is already registered")
+    _REGISTRY[solver.name] = solver
+    return solver
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a solver descriptor by name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown solver {name!r}; known: {', '.join(solver_names())}")
+    return _REGISTRY[key]
+
+
+def iter_solvers() -> Iterator[Solver]:
+    """All registered solvers, exact first, then by priority (stable)."""
+    return iter(sorted(_REGISTRY.values(),
+                       key=lambda s: (EXACTNESS_ORDER.index(s.exactness),
+                                      s.priority, s.name)))
+
+
+def solver_names() -> list[str]:
+    return [s.name for s in iter_solvers()]
+
+
+def solvers_for(problem: BiCritProblem, *,
+                context: SolverContext | None = None) -> list[tuple[Solver, bool, str | None]]:
+    """Admissibility of every registered solver for one instance.
+
+    Returns ``(solver, admissible, reason)`` triples in dispatch-preference
+    order; ``reason`` is ``None`` for admissible solvers.
+    """
+    ctx = context if context is not None else SolverContext.for_problem(problem)
+    out = []
+    for solver in iter_solvers():
+        ok, reason = solver.admissible(problem, ctx)
+        out.append((solver, ok, reason))
+    return out
+
+
+def admissible_solvers(problem: BiCritProblem, *,
+                       context: SolverContext | None = None) -> list[Solver]:
+    """The admissible solvers for an instance, in dispatch-preference order."""
+    return [s for s, ok, _ in solvers_for(problem, context=context) if ok]
+
+
+def capability_rows() -> list[dict]:
+    """Capability table rows (one per solver) for the CLI and the README."""
+    return [solver.capabilities() for solver in iter_solvers()]
+
+
+# ----------------------------------------------------------------------
+# admissibility predicates that need an OR over mapping shapes
+# ----------------------------------------------------------------------
+def _closed_form_route(ctx: SolverContext) -> tuple[bool, str | None]:
+    """Does any closed-form route of the CONTINUOUS front-end apply?
+
+    Mirrors the routing of
+    :func:`repro.continuous.bicrit.solve_bicrit_continuous`: a fully
+    serialised mapping (chain formula), a fork with one task per processor
+    (fork theorem), or a series-parallel graph whose mapping adds no
+    serialisation (equivalent-weight recursion).
+    """
+    if ctx.is_single_processor:
+        return True, None
+    if ctx.is_fork and ctx.graph.num_tasks > 1 and ctx.one_task_per_processor:
+        return True, None
+    if ctx.sp_decomposition is not None and ctx.mapping_adds_no_edges:
+        return True, None
+    return False, ("no closed-form route: needs a single-processor mapping, a "
+                   "fully parallel fork, or a series-parallel graph whose "
+                   "mapping adds no edges")
+
+
+# ----------------------------------------------------------------------
+# BI-CRIT CONTINUOUS
+# ----------------------------------------------------------------------
+register_solver(Solver(
+    name="bicrit-closed-form",
+    impl="repro.continuous.bicrit:solve_bicrit_continuous",
+    summary="Chain/fork/series-parallel closed forms (convex fallback on bound hits)",
+    problem="bicrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="exact", priority=10,
+    extra_check=_closed_form_route,
+    constraints="serialised mapping, fully parallel fork, or SP w/o extra edges",
+))
+
+register_solver(Solver(
+    name="bicrit-convex",
+    impl="repro.continuous.convex:solve_bicrit_continuous_dag",
+    summary="Numerical convex program on the augmented DAG (global optimum)",
+    problem="bicrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="exact", priority=20,
+))
+
+# ----------------------------------------------------------------------
+# BI-CRIT discrete-mode models
+# ----------------------------------------------------------------------
+register_solver(Solver(
+    name="bicrit-vdd-lp",
+    impl="repro.discrete.vdd_lp:solve_bicrit_vdd_lp",
+    summary="Polynomial VDD-HOPPING linear program (two consecutive modes per task)",
+    problem="bicrit", speed_models=_VDD, structures=_ANY,
+    exactness="exact", priority=10,
+))
+
+register_solver(Solver(
+    name="bicrit-discrete-milp",
+    impl="repro.discrete.exact:solve_bicrit_discrete_milp",
+    summary="Mixed-integer program, one binary per (task, mode)",
+    problem="bicrit", speed_models=_MODAL, structures=_ANY,
+    exactness="exact", priority=20,
+))
+
+register_solver(Solver(
+    name="bicrit-discrete-bruteforce",
+    impl="repro.discrete.exact:solve_bicrit_discrete_bruteforce",
+    summary="Plain enumeration of the m^n mode assignments (tiny instances)",
+    problem="bicrit", speed_models=_MODAL, structures=_ANY,
+    exactness="exact", priority=30,
+    max_tasks=limits.DISCRETE_BRUTEFORCE_MAX_TASKS,
+    default_options={"max_assignments": limits.DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS},
+))
+
+register_solver(Solver(
+    name="bicrit-incremental-approx",
+    impl="repro.discrete.incremental_approx:solve_bicrit_incremental_approx",
+    summary="Continuous relaxation rounded up: (1+delta/fmin)^2 (1+1/K)^2 guarantee",
+    problem="bicrit", speed_models=_MODAL, structures=_ANY,
+    exactness="approx", priority=40,
+))
+
+# ----------------------------------------------------------------------
+# TRI-CRIT CONTINUOUS
+# ----------------------------------------------------------------------
+register_solver(Solver(
+    name="tricrit-chain-exact",
+    impl="repro.continuous.tricrit_chain:solve_tricrit_chain_exact",
+    summary="Optimal re-execution subset by enumeration on one processor",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="exact", priority=10,
+    requires_single_processor=True,
+    max_tasks=limits.CHAIN_EXACT_MAX_TASKS,
+    default_options={"max_tasks": limits.CHAIN_EXACT_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-fork-poly",
+    impl="repro.continuous.tricrit_fork:solve_tricrit_fork",
+    summary="Polynomial breakpoint-interval scan of the fork theorem",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=frozenset({"fork"}),
+    exactness="exact", priority=12,
+    requires_one_task_per_processor=True,
+))
+
+register_solver(Solver(
+    name="tricrit-fork-bruteforce",
+    impl="repro.continuous.tricrit_fork:solve_tricrit_fork_bruteforce",
+    summary="Exhaustive re-execution configurations of a fork (reference)",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=frozenset({"fork"}),
+    exactness="exact", priority=14,
+    requires_one_task_per_processor=True,
+    max_tasks=limits.FORK_BRUTEFORCE_MAX_TASKS,
+    default_options={"max_tasks": limits.FORK_BRUTEFORCE_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-exhaustive",
+    impl="repro.continuous.exhaustive:solve_tricrit_exhaustive",
+    summary="Global optimum by re-execution subset enumeration on any mapped DAG",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="exact", priority=20,
+    max_tasks=limits.EXHAUSTIVE_SUBSET_MAX_TASKS,
+    default_options={"max_tasks": limits.EXHAUSTIVE_SUBSET_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-best-of",
+    impl="repro.continuous.heuristics:best_of_heuristics",
+    summary="Best of the energy-gain and parallel-slack heuristic families",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="heuristic", priority=40,
+))
+
+register_solver(Solver(
+    name="tricrit-chain-greedy",
+    impl="repro.continuous.tricrit_chain:solve_tricrit_chain_greedy",
+    summary="The paper's chain strategy: slow equally, then add re-executions",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="heuristic", priority=41,
+    requires_single_processor=True,
+))
+
+register_solver(Solver(
+    name="tricrit-heuristic-energy-gain",
+    impl="repro.continuous.heuristics:heuristic_energy_gain",
+    summary="Chain-family heuristic driven by estimated re-execution energy gain",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="heuristic", priority=42,
+))
+
+register_solver(Solver(
+    name="tricrit-heuristic-parallel-slack",
+    impl="repro.continuous.heuristics:heuristic_parallel_slack",
+    summary="Fork-family heuristic preferring highly parallelisable (slack) tasks",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="heuristic", priority=44,
+))
+
+register_solver(Solver(
+    name="tricrit-no-reexec",
+    impl="repro.continuous.heuristics:solve_tricrit_no_reexec",
+    summary="Reliable baseline without re-execution (every task at >= f_rel)",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="heuristic", priority=60,
+))
+
+# ----------------------------------------------------------------------
+# TRI-CRIT VDD-HOPPING
+# ----------------------------------------------------------------------
+register_solver(Solver(
+    name="tricrit-vdd-exact",
+    impl="repro.discrete.tricrit_vdd:solve_tricrit_vdd_exact",
+    summary="Subset enumeration + reliability-preserving rounding to VDD modes",
+    problem="tricrit", speed_models=_VDD, structures=_ANY,
+    exactness="exact", priority=20,
+    max_tasks=limits.EXHAUSTIVE_SUBSET_MAX_TASKS,
+    default_options={"max_tasks": limits.EXHAUSTIVE_SUBSET_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-vdd-heuristic",
+    impl="repro.discrete.tricrit_vdd:solve_tricrit_vdd_heuristic",
+    summary="Continuous best-of heuristic rounded to bracketing VDD modes",
+    problem="tricrit", speed_models=_VDD, structures=_ANY,
+    exactness="heuristic", priority=40,
+))

@@ -83,9 +83,9 @@ class TestRngHelpers:
 # registry completeness
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_twelve_experiments_registered(self):
+    def test_all_experiments_registered(self):
         experiments = [spec.experiment for spec in iter_scenarios()]
-        assert experiments == [f"E{i}" for i in range(1, 13)]
+        assert experiments == [f"E{i}" for i in range(1, 14)]
 
     def test_lookup_by_name_and_experiment_id(self):
         assert get_scenario("e7-tricrit-chain").experiment == "E7"

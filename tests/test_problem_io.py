@@ -1,0 +1,107 @@
+"""Tests for BI-CRIT / TRI-CRIT problem-instance JSON (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.problem_io import (
+    load_problem_json,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem_json,
+)
+from repro.core.problems import BiCritProblem, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.experiments.instances import (
+    bicrit_problem,
+    chain_suite,
+    fork_suite,
+    layered_suite,
+    tricrit_problem,
+)
+from repro.solvers import solve
+
+
+def _round_trip(problem):
+    return problem_from_dict(json.loads(json.dumps(problem_to_dict(problem))))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("speeds", ["continuous", "discrete", "vdd",
+                                        "incremental"])
+    def test_bicrit_round_trip_preserves_solution(self, speeds):
+        spec = chain_suite(sizes=(4,), slacks=(2.0,), seed=3)[0]
+        problem = bicrit_problem(spec, speeds=speeds)
+        clone = _round_trip(problem)
+        assert isinstance(clone, BiCritProblem)
+        assert not isinstance(clone, TriCritProblem)
+        assert clone.deadline == problem.deadline
+        assert clone.graph.total_weight() == pytest.approx(
+            problem.graph.total_weight())
+        assert clone.platform.num_processors == problem.platform.num_processors
+        assert type(clone.platform.speed_model) is type(problem.platform.speed_model)
+        assert solve(clone).energy == pytest.approx(solve(problem).energy)
+
+    def test_tricrit_round_trip_preserves_reliability(self):
+        spec = fork_suite(sizes=(3,), slacks=(2.0,), seed=5)[0]
+        problem = tricrit_problem(spec, frel=0.8, lambda0=1e-4, sensitivity=2.5)
+        clone = _round_trip(problem)
+        assert isinstance(clone, TriCritProblem)
+        model, clone_model = problem.reliability(), clone.reliability()
+        assert clone_model.frel == pytest.approx(model.frel)
+        assert clone_model.lambda0 == pytest.approx(model.lambda0)
+        assert clone_model.sensitivity == pytest.approx(model.sensitivity)
+        assert solve(clone).energy == pytest.approx(solve(problem).energy)
+
+    def test_reliability_override_round_trips(self):
+        spec = chain_suite(sizes=(3,), slacks=(2.0,), seed=8)[0]
+        base = tricrit_problem(spec)
+        override = ReliabilityModel(fmin=base.platform.fmin,
+                                    fmax=base.platform.fmax,
+                                    lambda0=3e-4, sensitivity=1.5, frel=0.7)
+        problem = TriCritProblem(mapping=base.mapping, platform=base.platform,
+                                 deadline=base.deadline,
+                                 reliability_model=override)
+        clone = _round_trip(problem)
+        assert clone.reliability_model is not None
+        assert clone.reliability().frel == pytest.approx(0.7)
+
+    def test_mapping_order_preserved(self):
+        spec = layered_suite(shapes=((3, 2),), num_processors=3,
+                             slacks=(2.0,), seed=6)[0]
+        problem = bicrit_problem(spec)
+        clone = _round_trip(problem)
+        original = [[str(t) for t in tasks]
+                    for tasks in problem.mapping.as_lists()]
+        assert [list(map(str, tasks))
+                for tasks in clone.mapping.as_lists()] == original
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        spec = chain_suite(sizes=(4,), slacks=(2.0,), seed=2)[0]
+        problem = tricrit_problem(spec)
+        path = tmp_path / "instance.json"
+        save_problem_json(problem, path)
+        clone = load_problem_json(path)
+        assert isinstance(clone, TriCritProblem)
+        assert clone.deadline == problem.deadline
+
+    def test_rejects_unknown_version_and_kind(self):
+        spec = chain_suite(sizes=(3,), slacks=(2.0,), seed=2)[0]
+        data = problem_to_dict(bicrit_problem(spec))
+        bad_version = dict(data, format_version=99)
+        with pytest.raises(ValueError, match="format version"):
+            problem_from_dict(bad_version)
+        bad_kind = dict(data, kind="quadcrit")
+        with pytest.raises(ValueError, match="problem kind"):
+            problem_from_dict(bad_kind)
+
+    def test_rejects_unknown_speed_model(self):
+        spec = chain_suite(sizes=(3,), slacks=(2.0,), seed=2)[0]
+        data = problem_to_dict(bicrit_problem(spec))
+        data["platform"]["speed_model"] = {"kind": "warp"}
+        with pytest.raises(ValueError, match="speed model"):
+            problem_from_dict(data)
