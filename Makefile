@@ -1,19 +1,23 @@
 # Convenience targets for the reproduction repo.
 #
 #   make test           - tier-1 test suite (the gate every PR must keep green)
+#   make coverage       - tier-1 suite under pytest-cov with the CI coverage floor
 #   make lint           - ruff check (critical rules; skipped when ruff is absent)
-#   make smoke          - reduced-trial smoke of the simulation perf path
+#   make smoke          - reduced-size smoke of the simulation + batch-solver perf paths
 #   make campaign-smoke - every E1-E13 scenario through the campaign runner
+#   make refresh-golden - intentionally regenerate tests/golden/*.json snapshots
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
-#   make check          - lint + test + smoke + campaign-smoke: what CI runs on every PR
+#   make check          - lint + coverage + smoke + campaign-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-# Critical-only rule set: syntax errors, broken comparisons, undefined names.
-RUFF_RULES ?= E9,F63,F7,F82
+# Critical rules (syntax errors, broken comparisons, undefined names) plus a
+# bugbear/pyupgrade subset: mutable/call defaults, assert-False, modern
+# generics, redundant open modes, collections.abc imports.
+RUFF_RULES ?= E9,F63,F7,F82,B006,B008,B011,UP006,UP015,UP035
 
-.PHONY: test lint smoke campaign-smoke bench check
+.PHONY: test lint smoke campaign-smoke bench check coverage refresh-golden
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,9 +30,27 @@ lint:
 	fi
 
 smoke:
-	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 $(PYTHON) -m pytest \
+	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 REPRO_BENCH_BATCH_MAX=100 \
+		$(PYTHON) -m pytest \
 		benchmarks/bench_batch_simulation.py \
+		benchmarks/bench_batch_solvers.py \
 		benchmarks/bench_e11_reliability_simulation.py -q -s
+
+# Regenerate tests/golden/*.json after an *intentional* change to experiment
+# output; commit the JSON diffs together with the change that caused them.
+refresh-golden:
+	$(PYTHON) tests/refresh_golden.py
+
+# Tier-1 suite under pytest-cov with the line-coverage floor CI enforces.
+# Skipped gracefully when pytest-cov is not installed locally.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term \
+			--cov-report=xml:coverage.xml --cov-fail-under=80; \
+	else \
+		echo "pytest-cov not installed; running plain tier-1 suite instead"; \
+		$(PYTHON) -m pytest -x -q; \
+	fi
 
 campaign-smoke:
 	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 \
@@ -39,4 +61,4 @@ campaign-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: lint test smoke campaign-smoke
+check: lint coverage smoke campaign-smoke

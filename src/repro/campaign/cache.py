@@ -15,7 +15,8 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 import numpy as np
 
@@ -95,7 +96,7 @@ class ResultCache:
         """
         path = self.path_for(key)
         try:
-            with path.open("r", encoding="utf-8") as fh:
+            with path.open(encoding="utf-8") as fh:
                 return json.load(fh)
         # ValueError covers JSONDecodeError and the UnicodeDecodeError a
         # torn write can leave behind.
@@ -108,7 +109,7 @@ class ResultCache:
             return
         for path in sorted(self.root.glob("*.json")):
             try:
-                with path.open("r", encoding="utf-8") as fh:
+                with path.open(encoding="utf-8") as fh:
                     yield json.load(fh)
             except (ValueError, OSError):
                 continue

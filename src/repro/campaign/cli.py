@@ -21,7 +21,8 @@ import argparse
 import ast
 import json
 import sys
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..experiments.reporting import format_value, rows_to_table
 from ..solvers import capability_rows, solvers_for
@@ -205,6 +206,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         instances, name=campaign["name"],
         jobs=args.jobs, cache=ResultCache(args.cache_dir),
         use_cache=not args.no_cache, refresh=args.refresh,
+        engine=args.engine,
         progress=_print_progress,
     )
     print(outcome.summary())
@@ -315,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="path to a campaign JSON file, or 'all'")
     p_campaign.add_argument("--jobs", type=int, default=None,
                             help="worker processes (default: $REPRO_JOBS or 1)")
+    p_campaign.add_argument("--engine", choices=("batch", "scalar"),
+                            default=None,
+                            help="override the solver/simulation engine of "
+                                 "every scenario that takes an engine "
+                                 "parameter; 'batch' also executes batchable "
+                                 "scenarios in-process instead of on the pool")
     p_campaign.add_argument("--smoke", action="store_true",
                             help="use reduced smoke-size parameters")
     p_campaign.add_argument("--no-cache", action="store_true",

@@ -11,7 +11,7 @@ expander, the parallel runner and the benchmark wrappers.
 from __future__ import annotations
 
 import os
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..experiments import (
     run_convex_dag_experiment,
@@ -243,10 +243,12 @@ register(ScenarioSpec(
     defaults=dict(families=("chain", "fork", "series-parallel", "dag"),
                   sizes=(5,), slacks=(2.0,), dag_shapes=((3, 2),),
                   num_processors=3, problem="tricrit", speeds="continuous",
-                  solver="admissible", frel=None, problem_files=(), seed=59),
+                  solver="admissible", frel=None, problem_files=(),
+                  engine="batch", seed=59),
     smoke=dict(families=("chain", "fork"), sizes=(3,)),
     dag_family="mixed", platform="multi", speed_model="continuous",
     fault_model="analytic", solver="registry (solver parameter sweepable)",
     columns=("family", "instance", "tasks", "solver", "exactness", "status",
              "energy", "ratio_to_exact"),
+    batchable=True,
 ))

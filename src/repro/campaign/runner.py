@@ -18,7 +18,8 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from .cache import ResultCache, instance_key, make_record
 from .registry import get_scenario
@@ -98,14 +99,36 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
                  cache: ResultCache | None = None,
                  use_cache: bool = True,
                  refresh: bool = False,
+                 engine: str | None = None,
                  progress: Callable[[str], None] | None = None) -> CampaignResult:
     """Execute ``instances``, serving repeats from the result cache.
 
     ``refresh`` forces re-execution but still writes the fresh records back;
     ``use_cache=False`` bypasses the cache entirely (no reads, no writes).
     ``progress`` receives one human-readable line per completed instance.
+
+    ``engine`` (``"batch"`` or ``"scalar"``) overrides the solver-evaluation
+    engine of every scenario that exposes an ``engine`` parameter (E11/E12's
+    Monte-Carlo engines, E13's batched solver grids); other scenarios are
+    untouched.  With ``engine="batch"`` the instances of scenarios flagged
+    ``batchable`` in the registry execute in-process -- their vectorized
+    solver grids are cheaper than process-pool dispatch -- while the
+    remaining (heavy) instances still go through the worker pool when
+    ``jobs > 1``.  Results are identical either way: for deterministic
+    scenarios the result payload is a pure function of the instance
+    parameters, independent of jobs count or execution placement.
     """
     jobs = resolve_jobs(jobs)
+    if engine is not None:
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown engine {engine!r} (batch or scalar)")
+        instances = [
+            ScenarioInstance(scenario=inst.scenario,
+                             params={**inst.params, "engine": engine},
+                             label=inst.label)
+            if "engine" in inst.params else inst
+            for inst in instances
+        ]
     cache = cache if cache is not None else ResultCache()
     emit = progress or (lambda line: None)
     started = time.perf_counter()
@@ -162,6 +185,18 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
                                             record=None, cached=False,
                                             elapsed_seconds=elapsed, error=error)
             emit(f"[{index + 1}/{total}] {instance.describe()}: ERROR {error}")
+
+    if pending and engine == "batch":
+        # The batched in-process path: scenarios whose solver grids run
+        # through the vectorized kernel finish faster inline than the
+        # process pool can even dispatch them; heavy scenarios (Monte-Carlo
+        # simulation, wall-clock probes) stay on the pool below.
+        inline = [(i, inst, key) for i, inst, key in pending
+                  if get_scenario(inst.scenario).batchable]
+        if inline:
+            _run_serial(inline, finish)
+            pending = [(i, inst, key) for i, inst, key in pending
+                       if results[i] is None]
 
     if pending:
         if jobs == 1:

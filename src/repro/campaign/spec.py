@@ -11,7 +11,8 @@ the parallel runner executes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 __all__ = ["ScenarioSpec", "ScenarioInstance"]
 
@@ -41,6 +42,11 @@ class ScenarioSpec:
     solver: str = ""                # headline solver knob, e.g. "convex", "lp:scipy"
     columns: Sequence[str] | None = None  # preferred report column order
     cache_version: int = 1          # bump to invalidate cached results
+    #: True when the scenario's runner evaluates its solver grid through the
+    #: batched kernel (``repro.solvers.solve_batch``): such instances are so
+    #: cheap in-process that the campaign runner executes them inline
+    #: instead of paying process-pool dispatch for them.
+    batchable: bool = False
     #: True when the result is a pure function of the parameters.  False for
     #: scenarios whose results embed wall-clock measurements (E5's scaling
     #: probes): their cached records still replay identically, but two

@@ -27,7 +27,8 @@ from __future__ import annotations
 import itertools
 import json
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..core.rng import spawn_child_seeds
 from .registry import get_scenario, iter_scenarios
@@ -103,7 +104,7 @@ def expand_campaign(campaign: Mapping[str, Any], *, smoke: bool = False) -> list
 
 def load_campaign_file(path: str | Path) -> dict:
     """Load and minimally validate a JSON campaign file."""
-    with Path(path).open("r", encoding="utf-8") as fh:
+    with Path(path).open(encoding="utf-8") as fh:
         campaign = json.load(fh)
     if not isinstance(campaign, Mapping):
         raise ValueError(f"campaign file {path} must contain a JSON object")

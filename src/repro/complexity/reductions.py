@@ -36,7 +36,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.problems import BiCritProblem, TriCritProblem
 from ..core.reliability import ReliabilityModel

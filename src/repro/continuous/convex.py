@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping as TMapping
+from collections.abc import Mapping as TMapping
 
 import numpy as np
 from scipy import optimize as sciopt

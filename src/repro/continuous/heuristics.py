@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..core.problems import SolveResult, TriCritProblem
 from ..core.schedule import Schedule, TaskDecision

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping as TMapping, Sequence
+from collections.abc import Iterable, Mapping as TMapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 

@@ -14,7 +14,7 @@ These are the classic quantities of DAG scheduling:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

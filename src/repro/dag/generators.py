@@ -14,7 +14,7 @@ All random generators accept either an integer seed or a
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -24,7 +24,7 @@ is the boolean convenience wrapper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import networkx as nx
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import networkx as nx
 import numpy as np
@@ -124,7 +124,7 @@ class TaskGraph:
 
     def weights(self) -> dict[TaskId, float]:
         """Mapping of all task weights."""
-        return {t: float(d["weight"]) for t, d in self._g.nodes(data=True)}
+        return {t: float(d["weight"]) for t, d in self._g._node.items()}
 
     def weight_array(self, order: Sequence[TaskId] | None = None) -> np.ndarray:
         """Weights as a NumPy array, in ``order`` (default: topological)."""
@@ -133,7 +133,7 @@ class TaskGraph:
 
     def total_weight(self) -> float:
         """Sum of all task weights."""
-        return float(sum(self.weights().values()))
+        return float(sum(d["weight"] for d in self._g._node.values()))
 
     def edges(self) -> list[tuple[TaskId, TaskId]]:
         return list(self._g.edges())
@@ -146,11 +146,14 @@ class TaskGraph:
 
     def sources(self) -> list[TaskId]:
         """Tasks without predecessors (entry tasks)."""
-        return [t for t in self._g.nodes() if self._g.in_degree(t) == 0]
+        # Raw adjacency dicts: these probes run once per solver dispatch,
+        # and the networkx degree/adjacency views cost more than the whole
+        # closed form they gate.
+        return [t for t, preds in self._g._pred.items() if not preds]
 
     def sinks(self) -> list[TaskId]:
         """Tasks without successors (exit tasks)."""
-        return [t for t in self._g.nodes() if self._g.out_degree(t) == 0]
+        return [t for t, succs in self._g._succ.items() if not succs]
 
     # ------------------------------------------------------------------
     # orderings and paths
@@ -215,15 +218,13 @@ class TaskGraph:
             return False
         if self.num_tasks == 1:
             return True
-        degrees_ok = all(
-            self._g.in_degree(t) <= 1 and self._g.out_degree(t) <= 1
-            for t in self._g.nodes()
-        )
-        return (
-            degrees_ok
-            and self.num_edges == self.num_tasks - 1
-            and nx.is_weakly_connected(self._g)
-        )
+        pred, succ = self._g._pred, self._g._succ
+        degrees_ok = all(len(pred[t]) <= 1 and len(succ[t]) <= 1 for t in pred)
+        # With all degrees <= 1, an *acyclic* graph (guaranteed by the
+        # constructor) is a disjoint union of paths, and a union of k paths
+        # on n nodes has exactly n - k edges -- so n - 1 edges means one
+        # connected path; no separate connectivity scan is needed.
+        return degrees_ok and self.num_edges == self.num_tasks - 1
 
     def is_fork(self) -> tuple[bool, TaskId | None]:
         """Is the graph a fork (one source with edges to all other tasks)?
@@ -234,15 +235,17 @@ class TaskGraph:
         """
         if self.num_tasks == 0:
             return False, None
-        sources = self.sources()
+        pred, succ = self._g._pred, self._g._succ
+        sources = [t for t, p in pred.items() if not p]
         if len(sources) != 1:
             return False, None
         src = sources[0]
-        others = [t for t in self._g.nodes() if t != src]
-        for t in others:
-            if self.predecessors(t) != [src] or self.successors(t):
+        for t, p in pred.items():
+            if t == src:
+                continue
+            if len(p) != 1 or src not in p or succ[t]:
                 return False, None
-        if self._g.out_degree(src) != len(others):
+        if len(succ[src]) != self.num_tasks - 1:
             return False, None
         return True, src
 
@@ -250,15 +253,17 @@ class TaskGraph:
         """Is the graph a join (all tasks feed one sink)?  Mirror of a fork."""
         if self.num_tasks == 0:
             return False, None
-        sinks = self.sinks()
+        pred, succ = self._g._pred, self._g._succ
+        sinks = [t for t, s in succ.items() if not s]
         if len(sinks) != 1:
             return False, None
         sink = sinks[0]
-        others = [t for t in self._g.nodes() if t != sink]
-        for t in others:
-            if self.successors(t) != [sink] or self.predecessors(t):
+        for t, s in succ.items():
+            if t == sink:
+                continue
+            if len(s) != 1 or sink not in s or pred[t]:
                 return False, None
-        if self._g.in_degree(sink) != len(others):
+        if len(pred[sink]) != self.num_tasks - 1:
             return False, None
         return True, sink
 

@@ -18,7 +18,7 @@ instance:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from ..continuous.exhaustive import best_known_tricrit
 from ..platform.mapping import Mapping
 from ..platform.platform import Platform
 from ..solvers import solve as registry_solve
+from ..solvers import solve_batch
 
 __all__ = [
     "ParetoPoint",
@@ -62,17 +63,22 @@ def pareto_filter(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
 
 def energy_deadline_curve(mapping: Mapping, platform: Platform, *,
                           slacks: Sequence[float] = (1.0, 1.2, 1.5, 2.0, 3.0, 4.0),
-                          solver: Callable[[BiCritProblem], object] | None = None
-                          ) -> list[ParetoPoint]:
+                          solver: Callable[[BiCritProblem], object] | None = None,
+                          engine: str = "batch") -> list[ParetoPoint]:
     """Optimal energy as a function of the deadline (BI-CRIT Pareto front).
 
     ``slacks`` multiply the tightest feasible deadline (the makespan of the
     mapping at ``fmax``).  A custom ``solver`` taking a
     :class:`BiCritProblem` can be supplied to trace the curve under a
     discrete model (e.g. the VDD-HOPPING LP); it defaults to the registry's
-    exact-first auto-dispatch, which also handles discrete platforms.
+    exact-first auto-dispatch, which also handles discrete platforms.  With
+    the default dispatch, ``engine="batch"`` (the default) solves the whole
+    deadline sweep through :func:`repro.solvers.solve_batch` as one grouped
+    array program; ``engine="scalar"`` keeps the per-point loop (a custom
+    ``solver`` callable always takes the per-point path).
     """
-    solve = solver or registry_solve
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (batch or scalar)")
     graph = mapping.graph
     augmented = mapping.augmented_graph()
     finish: dict = {}
@@ -81,11 +87,17 @@ def energy_deadline_curve(mapping: Mapping, platform: Platform, *,
         finish[t] = s + graph.weight(t) / platform.fmax
     base = max(finish.values(), default=0.0)
 
+    deadlines = [slack * base for slack in slacks]
+    problems = [BiCritProblem(mapping, platform, deadline)
+                for deadline in deadlines]
+    if solver is None and engine == "batch":
+        results: Sequence[object] = solve_batch(problems)
+    else:
+        solve = solver or registry_solve
+        results = [solve(problem) for problem in problems]
+
     points = []
-    for slack in slacks:
-        deadline = slack * base
-        problem = BiCritProblem(mapping, platform, deadline)
-        result = solve(problem)
+    for deadline, result in zip(deadlines, results):
         feasible = getattr(result, "feasible", False)
         energy = getattr(result, "energy", float("inf"))
         points.append(ParetoPoint(deadline=deadline, energy=energy,

@@ -8,7 +8,7 @@ reproduction record (the same tables are summarised in ``EXPERIMENTS.md``).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 __all__ = ["format_value", "ascii_table", "rows_to_table", "print_table"]
 

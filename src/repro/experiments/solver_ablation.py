@@ -19,14 +19,21 @@ ablated via ``problem_files``.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.problem_io import load_problem_json
 from ..core.problems import BiCritProblem
 from ..core.rng import resolve_seed
-from ..solvers import SolverContext, get_solver, iter_solvers, solve
+from ..solvers import (
+    SolverContext,
+    batch_is_feasible,
+    get_solver,
+    iter_solvers,
+    solve,
+    solve_batch,
+)
 from .instances import (
     InstanceSpec,
     bicrit_problem,
@@ -79,6 +86,7 @@ def run_solver_ablation_experiment(
         solver: str = "admissible",
         frel: float | None = None,
         problem_files: Sequence[str] = (),
+        engine: str = "batch",
         seed: int | np.random.Generator | None = 59) -> list[dict]:
     """E13: run registry solvers over a chain/fork/SP/DAG instance grid.
 
@@ -97,12 +105,20 @@ def run_solver_ablation_experiment(
         ``auto`` cells it is NaN unless the solver that ran is itself exact
         -- join cells from an ``"admissible"`` run to compare heuristics
         against the exact reference.
+    engine:
+        ``"batch"`` (default) routes every solver x instance grid through
+        :func:`repro.solvers.solve_batch`, evaluating each solver's cells as
+        one vectorized group; ``"scalar"`` keeps the per-cell ``solve()``
+        loop.  The two engines produce the same rows (within floating-point
+        tolerance; equivalence is property-tested).
     problem_files:
         Extra concrete instances (JSON files from
         :func:`repro.core.problem_io.save_problem_json`), reported under
         family ``"file"``.
     """
     seed = resolve_seed(seed, 59)
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (batch or scalar)")
     if solver not in ("admissible", "auto"):
         # Fail fast on typos (and on solver/problem-kind mismatches) instead
         # of silently producing -- and caching -- an empty result set.
@@ -124,22 +140,32 @@ def run_solver_ablation_experiment(
         name = str(path).rsplit("/", 1)[-1].removesuffix(".json")
         instances.append(("file", name, loaded))
 
-    rows: list[dict] = []
-    for family, name, prob in instances:
-        ctx = SolverContext.for_problem(prob)
+    ctxs = [SolverContext.for_problem(prob) for _, _, prob in instances]
+    if engine == "batch":
+        # One vectorized fmax-feasibility sweep instead of one walk each.
+        batch_is_feasible([prob for _, _, prob in instances], contexts=ctxs)
+
+    # Pass 1: classify every solver x instance cell without running anything.
+    # ``entry["cells"]`` holds the admissible cells whose energies are filled
+    # in by pass 2 (either one scalar solve per cell or one batched solve
+    # per solver group); row order matches the scalar loop exactly.
+    entries: list[dict] = []
+    for (family, name, prob), ctx in zip(instances, ctxs):
         if not ctx.is_feasible:
             # Generated suites are feasible by construction, but a problem
             # file may not be; one row beats N per-solver "infeasible" rows.
-            rows.append({
+            entries.append({"pre": [{
                 "family": family, "instance": name,
                 "tasks": prob.graph.num_tasks, "solver": "-", "exactness": "-",
                 "status": "infeasible-instance", "energy": math.inf,
                 "ratio_to_exact": math.nan, "dispatched": False,
                 "reason": (f"even at fmax the makespan is {ctx.min_makespan:.6g}"
                            f" > deadline {prob.deadline:.6g}"),
-            })
+            }], "cells": [], "auto": False, "prob": prob, "ctx": ctx})
             continue
-        ran: list[dict] = []
+        entry = {"pre": [], "cells": [], "auto": solver == "auto",
+                 "prob": prob, "ctx": ctx,
+                 "family": family, "instance": name}
         for descriptor in iter_solvers():
             if descriptor.problem != ctx.kind:
                 continue            # wrong problem kind: not an ablation cell
@@ -158,20 +184,56 @@ def run_solver_ablation_experiment(
                     row.update(status="inadmissible", energy=math.nan,
                                ratio_to_exact=math.nan, dispatched=False,
                                reason=reason)
-                    rows.append(row)
+                    entry["pre"].append(row)
                 continue
             if solver == "auto":
-                continue            # handled below through the dispatcher
-            result = solve(prob, solver=descriptor.name, context=ctx)
-            row.update(status=result.status, energy=result.energy,
-                       dispatched=False, reason=None)
-            ran.append(row)
-        if solver == "auto":
-            result = solve(prob, context=ctx)
+                continue            # handled through the dispatcher below
+            entry["cells"].append((descriptor, row))
+        entries.append(entry)
+
+    # Pass 2: run the admissible cells.
+    if engine == "scalar":
+        for entry in entries:
+            for descriptor, row in entry["cells"]:
+                result = solve(entry["prob"], solver=descriptor.name,
+                               context=entry["ctx"])
+                row.update(status=result.status, energy=result.energy,
+                           dispatched=False, reason=None)
+            if entry["auto"]:
+                result = solve(entry["prob"], context=entry["ctx"])
+                entry["auto_result"] = result
+    else:
+        groups: dict[str, list[tuple[dict, dict]]] = {}
+        for entry in entries:
+            for descriptor, row in entry["cells"]:
+                groups.setdefault(descriptor.name, []).append((entry, row))
+        for name_key, members in groups.items():
+            results = solve_batch([e["prob"] for e, _ in members],
+                                  solver=name_key,
+                                  contexts=[e["ctx"] for e, _ in members])
+            for (_, row), result in zip(members, results):
+                row.update(status=result.status, energy=result.energy,
+                           dispatched=False, reason=None)
+        auto_entries = [e for e in entries if e["auto"]]
+        if auto_entries:
+            results = solve_batch([e["prob"] for e in auto_entries],
+                                  contexts=[e["ctx"] for e in auto_entries])
+            for entry, result in zip(auto_entries, results):
+                entry["auto_result"] = result
+
+    # Pass 3: assemble rows and per-instance exact references.
+    rows: list[dict] = []
+    for entry in entries:
+        rows.extend(entry["pre"])
+        ran = [row for _, row in entry["cells"]]
+        if entry.get("auto_result") is not None:
+            result = entry["auto_result"]
+            prob = entry["prob"]
             chosen = result.metadata["dispatch"]["solver"]
             descriptor = next(d for d in iter_solvers() if d.name == chosen)
             ran.append({
-                "family": family, "instance": name, "tasks": prob.graph.num_tasks,
+                "family": entry["family"], "instance": entry["instance"],
+                "tasks": prob.graph.num_tasks,
                 "solver": chosen, "exactness": descriptor.exactness,
                 "status": result.status, "energy": result.energy,
                 "dispatched": True, "reason": None,

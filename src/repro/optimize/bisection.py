@@ -9,7 +9,7 @@ implement robust bracketing bisection with explicit tolerance control.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["bisect_root", "solve_monotone_increasing", "expand_bracket"]
 

@@ -17,7 +17,7 @@ valid iff the augmented graph is acyclic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping as TMapping, Sequence
+from collections.abc import Iterable, Mapping as TMapping, Sequence
 
 from ..dag.taskgraph import TaskGraph, TaskId
 
@@ -160,14 +160,19 @@ class Mapping:
         """
         if self._augmented is None:
             extra_edges: list[tuple[TaskId, TaskId]] = []
-            existing = set(self._graph.edges())
+            precedence = self._graph.edges()
+            existing = set(precedence)
             for tasks in self._lists:
                 for u, v in zip(tasks[:-1], tasks[1:]):
                     if (u, v) not in existing:
                         extra_edges.append((u, v))
             try:
+                # Keep the precedence edges in graph order (not set order):
+                # edge insertion order reaches the numerical solvers through
+                # adjacency iteration, and hash-randomised order would make
+                # results differ between processes.
                 self._augmented = TaskGraph(
-                    self._graph.weights(), list(existing) + extra_edges
+                    self._graph.weights(), precedence + extra_edges
                 )
             except ValueError as exc:
                 raise InvalidMappingError(

@@ -26,7 +26,6 @@ arrays to simulate all trials simultaneously.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 import numpy as np
 
@@ -55,7 +54,7 @@ class CompiledSchedule:
 
     schedule: Schedule
     order: tuple[TaskId, ...]
-    task_index: Dict[TaskId, int]
+    task_index: dict[TaskId, int]
     processor: np.ndarray
     exec_ptr: np.ndarray
     exec_duration: np.ndarray

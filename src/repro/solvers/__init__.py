@@ -18,6 +18,15 @@ The public surface is small:
 from __future__ import annotations
 
 from . import limits
+from .batch import (
+    BatchGroup,
+    BatchPlan,
+    LazyScheduleResult,
+    batch_is_feasible,
+    batch_reexecution_floors,
+    plan_batch,
+    solve_batch,
+)
 from .context import SolverContext, problem_kind, speed_model_kind
 from .descriptors import EXACTNESS_ORDER, InadmissibleSolverError, Solver
 from .dispatch import NoAdmissibleSolverError, select_solver, solve
@@ -39,6 +48,13 @@ __all__ = [
     "InadmissibleSolverError",
     "NoAdmissibleSolverError",
     "solve",
+    "solve_batch",
+    "plan_batch",
+    "BatchPlan",
+    "BatchGroup",
+    "LazyScheduleResult",
+    "batch_is_feasible",
+    "batch_reexecution_floors",
     "select_solver",
     "register_solver",
     "get_solver",

@@ -16,7 +16,7 @@ them (for the shared limits) without cycles.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..core.problems import BiCritProblem
 from . import limits

@@ -1,0 +1,340 @@
+"""Property-based equivalence of ``solve_batch`` against per-instance ``solve``.
+
+The batched kernel (``repro.solvers.batch``) must be a drop-in replacement
+for a ``[solve(p) for p in problems]`` loop: for randomized chains, forks
+and series-parallel instances, every admissible solver and the ``auto``
+dispatch must produce the same statuses, energies and (when materialised)
+feasible schedules, whether evaluated per instance or as one batch.  The
+vectorized kernels (chain/fork closed forms, the TRI-CRIT chain subset
+table, the batched re-execution floors) are additionally checked to have
+actually engaged, so these tests cannot silently pass through the scalar
+fallback.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problems import BiCritProblem, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.solvers import (
+    InadmissibleSolverError,
+    SolverContext,
+    admissible_solvers,
+    batch_is_feasible,
+    batch_reexecution_floors,
+    plan_batch,
+    solve,
+    solve_batch,
+)
+from repro.solvers.batch import (
+    KERNEL_CHAIN,
+    KERNEL_FORK,
+    KERNEL_SCALAR,
+    KERNEL_TRICRIT_CHAIN,
+    LazyScheduleResult,
+)
+
+# ----------------------------------------------------------------------
+# instance builders (plain functions so fresh problems are cheap to remake)
+# ----------------------------------------------------------------------
+# Weights are either exactly zero (exercising the zero-weight task paths)
+# or of sane magnitude -- denormal-scale weights make the *scalar* scipy
+# fallback overflow, which is not the equivalence under test here.
+weight_strategy = st.one_of(st.just(0.0),
+                            st.floats(min_value=1e-2, max_value=8.0))
+weights_strategy = st.lists(weight_strategy, min_size=1, max_size=5)
+
+
+def chain_problem(weights, slack, fmin=0.1, fmax=1.0):
+    graph = generators.chain(weights)
+    mapping = Mapping.single_processor(graph)
+    platform = Platform(1, ContinuousSpeeds(fmin, fmax))
+    deadline = max(slack * graph.total_weight() / fmax, 1e-6)
+    return BiCritProblem(mapping, platform, deadline)
+
+
+def fork_problem(source_weight, child_weights, slack, fmin=0.05, fmax=2.0):
+    graph = generators.fork(source_weight, child_weights)
+    mapping = Mapping.one_task_per_processor(graph)
+    platform = Platform(len(child_weights) + 1, ContinuousSpeeds(fmin, fmax))
+    deadline = max(slack * graph.critical_path_weight() / fmax, 1e-6)
+    return BiCritProblem(mapping, platform, deadline)
+
+
+def tricrit_chain_problem(weights, slack, lambda0=1e-4):
+    graph = generators.chain(weights)
+    mapping = Mapping.single_processor(graph)
+    reliability = ReliabilityModel(fmin=0.1, fmax=1.0, lambda0=lambda0,
+                                   sensitivity=3.0)
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0),
+                        reliability_model=reliability)
+    deadline = max(slack * graph.total_weight(), 1e-6)
+    return TriCritProblem(mapping, platform, deadline)
+
+
+def sp_problem(size, seed, slack):
+    graph = generators.random_series_parallel(size, seed=seed)
+    mapping = Mapping.one_task_per_processor(graph)
+    platform = Platform(graph.num_tasks, ContinuousSpeeds(0.001, 50.0))
+    deadline = max(slack * graph.critical_path_weight(), 1e-6)
+    return BiCritProblem(mapping, platform, deadline)
+
+
+def assert_results_match(scalar, batch, problem, *, rel=1e-7):
+    """Scalar and batched results must agree on status, energy and schedule."""
+    assert batch.status == scalar.status
+    assert batch.solver == scalar.solver
+    if math.isfinite(scalar.energy) or math.isfinite(batch.energy):
+        assert batch.energy == pytest.approx(scalar.energy, rel=rel, abs=1e-9)
+    if scalar.schedule is None:
+        assert batch.schedule is None
+        return
+    materialised = batch.schedule
+    assert materialised is not None
+    assert materialised.energy() == pytest.approx(scalar.schedule.energy(),
+                                                  rel=rel, abs=1e-9)
+    # A feasible scalar schedule implies a feasible batched one (same
+    # constraints, possibly a different but equally good optimum).
+    if isinstance(problem, TriCritProblem):
+        model = problem.reliability()
+        assert scalar.schedule.is_feasible(problem.deadline,
+                                           check_reliability=True,
+                                           reliability_model=model) \
+            == materialised.is_feasible(problem.deadline,
+                                        check_reliability=True,
+                                        reliability_model=model)
+    else:
+        assert scalar.schedule.is_feasible(problem.deadline) \
+            == materialised.is_feasible(problem.deadline)
+
+
+def roundtrip(problems, fresh, solver):
+    """Solve per instance, then re-build fresh instances and solve as a batch."""
+    scalar = [solve(p, solver=solver) for p in problems]
+    batch = solve_batch(fresh, solver=solver)
+    for s, b, p in zip(scalar, batch, fresh):
+        assert_results_match(s, b, p)
+    return scalar, batch
+
+
+# ----------------------------------------------------------------------
+# property suites, one per vectorized kernel
+# ----------------------------------------------------------------------
+class TestChainClosedFormEquivalence:
+    @given(st.lists(weights_strategy, min_size=1, max_size=3),
+           st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_scalar_for_every_admissible_solver(self, batches,
+                                                              slack):
+        problems = [chain_problem(w, slack) for w in batches]
+        for name in ["auto"] + [s.name for s in admissible_solvers(problems[0])]:
+            roundtrip(problems,
+                      [chain_problem(w, slack) for w in batches], name)
+
+    @given(st.lists(weights_strategy, min_size=2, max_size=6),
+           st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_kernel_engages(self, batches, slack):
+        problems = [chain_problem(w, slack) for w in batches]
+        plan = plan_batch(problems, "bicrit-closed-form")
+        assert plan.kernel_counts() == {KERNEL_CHAIN: len(problems)}
+
+
+class TestForkClosedFormEquivalence:
+    @given(st.lists(st.tuples(weight_strategy,
+                              st.lists(weight_strategy,
+                                       min_size=1, max_size=4)),
+                    min_size=1, max_size=3),
+           st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_scalar_for_every_admissible_solver(self, specs,
+                                                              slack):
+        problems = [fork_problem(w0, kids, slack) for w0, kids in specs]
+        for name in ["auto"] + [s.name for s in admissible_solvers(problems[0])]:
+            roundtrip(problems,
+                      [fork_problem(w0, kids, slack) for w0, kids in specs],
+                      name)
+
+    @given(st.floats(min_value=0.1, max_value=6.0),
+           st.lists(st.floats(min_value=0.1, max_value=6.0),
+                    min_size=1, max_size=5),
+           st.floats(min_value=0.6, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_fork_kernel_engages(self, w0, kids, slack):
+        problems = [fork_problem(w0, kids, slack)]
+        plan = plan_batch(problems, "bicrit-closed-form")
+        assert plan.kernel_counts() == {KERNEL_FORK: 1}
+
+
+class TestTriCritChainEquivalence:
+    @given(st.lists(st.lists(weight_strategy, min_size=1, max_size=3),
+                    min_size=1, max_size=2),
+           st.floats(min_value=1.0, max_value=4.0),
+           st.sampled_from([1e-5, 1e-4, 1e-3]))
+    @settings(max_examples=6, deadline=None)
+    def test_batch_matches_scalar_for_every_admissible_solver(self, batches,
+                                                              slack, lambda0):
+        problems = [tricrit_chain_problem(w, slack, lambda0) for w in batches]
+        for name in ["auto"] + [s.name for s in admissible_solvers(problems[0])]:
+            roundtrip(problems,
+                      [tricrit_chain_problem(w, slack, lambda0)
+                       for w in batches], name)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0),
+                    min_size=1, max_size=4),
+           st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_subset_kernel_engages_and_floors_are_batched(self, weights, slack):
+        problem = tricrit_chain_problem(weights, slack)
+        plan = plan_batch([problem], "tricrit-chain-exact")
+        assert plan.kernel_counts() == {KERNEL_TRICRIT_CHAIN: 1}
+        # The batched floors must equal the context's scalar bisections.
+        fresh = tricrit_chain_problem(weights, slack)
+        floors = batch_reexecution_floors([fresh])[0]
+        reference = tricrit_chain_problem(weights, slack).context()
+        for task, floor in floors.items():
+            assert floor == pytest.approx(reference.reexecution_floor(task),
+                                          rel=1e-9, abs=1e-12)
+
+
+class TestSeriesParallelFallback:
+    @given(st.integers(min_value=3, max_value=9),
+           st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.8, max_value=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_sp_instances_fall_back_and_match(self, size, seed, slack):
+        problem = sp_problem(size, seed, slack)
+        ctx = SolverContext.for_problem(problem)
+        plan = plan_batch([problem], "auto")
+        if ctx.is_single_processor or ctx.is_fork:
+            return  # degenerate SP draw handled by a vectorized kernel
+        assert plan.kernel_counts() == {KERNEL_SCALAR: 1}
+        scalar = solve(sp_problem(size, seed, slack))
+        [batch] = solve_batch([sp_problem(size, seed, slack)])
+        assert_results_match(scalar, batch, problem)
+
+
+class TestMixedAutoDispatch:
+    @given(st.lists(weights_strategy, min_size=1, max_size=2),
+           st.lists(st.lists(weight_strategy, min_size=1, max_size=3),
+                    min_size=1, max_size=2),
+           st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=6, deadline=None)
+    def test_auto_choice_and_results_match_across_kinds(self, chain_batches,
+                                                        tricrit_batches, slack):
+        def build():
+            problems = [chain_problem(w, slack) for w in chain_batches]
+            problems += [fork_problem(2.0, w, slack) for w in chain_batches]
+            problems += [tricrit_chain_problem(w, slack)
+                         for w in tricrit_batches]
+            problems.append(sp_problem(5, 42, slack))
+            return problems
+
+        scalar = [solve(p) for p in build()]
+        fresh = build()
+        batch = solve_batch(fresh)
+        for s, b, p in zip(scalar, batch, fresh):
+            assert_results_match(s, b, p)
+            assert b.metadata["dispatch"]["solver"] \
+                == s.metadata["dispatch"]["solver"]
+            assert b.metadata["dispatch"]["auto"] is True
+
+
+# ----------------------------------------------------------------------
+# non-property behaviour of the batch front door
+# ----------------------------------------------------------------------
+class TestBatchFrontDoor:
+    def test_named_solver_validates_like_scalar(self):
+        problem = fork_problem(2.0, [1.0, 3.0], 2.0)
+        with pytest.raises(InadmissibleSolverError):
+            solve(problem, solver="tricrit-chain-exact")
+        with pytest.raises(InadmissibleSolverError):
+            solve_batch([problem], solver="tricrit-chain-exact")
+
+    def test_unknown_solver_raises_like_scalar(self):
+        problem = chain_problem([1.0, 2.0], 2.0)
+        with pytest.raises(KeyError):
+            solve_batch([problem], solver="no-such-solver")
+
+    def test_options_force_scalar_fallback(self):
+        problems = [chain_problem([1.0, 2.0, 3.0], 2.0) for _ in range(3)]
+        plan = plan_batch(problems, "bicrit-closed-form", vectorize=False)
+        assert plan.kernel_counts() == {KERNEL_SCALAR: 3}
+        batch = solve_batch(problems, solver="bicrit-closed-form",
+                            prefer_closed_form=True)
+        scalar = [solve(p, solver="bicrit-closed-form",
+                        prefer_closed_form=True) for p in problems]
+        for s, b, p in zip(scalar, batch, problems):
+            assert_results_match(s, b, p)
+
+    def test_lazy_schedule_materialises_once(self):
+        [result] = solve_batch([chain_problem([1.0, 2.0], 2.0)])
+        assert isinstance(result, LazyScheduleResult)
+        first = result.schedule
+        assert first is result.schedule     # memoised, not rebuilt
+        assert result.require_schedule() is first
+
+    def test_lazy_metadata_equals_scalar_metadata(self):
+        problem = chain_problem([1.0, 2.0, 3.0], 2.0)
+        scalar = solve(problem, solver="bicrit-closed-form")
+        [batch] = solve_batch([chain_problem([1.0, 2.0, 3.0], 2.0)],
+                              solver="bicrit-closed-form")
+        assert batch.metadata["dispatch"] == scalar.metadata["dispatch"]
+        assert set(batch.metadata) == set(scalar.metadata)
+        assert batch.metadata["route"] == scalar.metadata["route"]
+
+    def test_results_preserve_input_order(self):
+        chains = [chain_problem([float(i + 1)], 2.0) for i in range(4)]
+        forks = [fork_problem(1.0, [float(i + 1)], 2.0) for i in range(4)]
+        mixed = [p for pair in zip(chains, forks) for p in pair]
+        results = solve_batch(mixed)
+        for problem, result in zip(mixed, results):
+            assert result.feasible
+            route = result.metadata["route"]
+            expected = "chain" if problem.mapping.is_single_processor() else "fork"
+            assert route == expected
+
+    def test_batch_is_feasible_matches_context(self):
+        problems = [chain_problem([1.0, 2.0], 0.5),      # infeasible (tight)
+                    chain_problem([1.0, 2.0], 2.0),
+                    fork_problem(2.0, [1.0, 3.0], 2.0),
+                    sp_problem(5, 7, 2.0)]
+        verdicts = batch_is_feasible(problems)
+        for problem, verdict in zip(problems, verdicts):
+            fresh = BiCritProblem(problem.mapping, problem.platform,
+                                  problem.deadline)
+            assert bool(verdict) == SolverContext.for_problem(fresh).is_feasible
+
+    def test_oversized_tricrit_chain_raises_like_scalar(self):
+        # 23 mapped tasks but only 10 positive: the descriptor admits the
+        # instance (positive-task count), while the scalar solver's guard
+        # counts every task on the processor and raises -- the batch path
+        # must fall back to the scalar kernel and raise identically.
+        weights = [1.0] * 10 + [0.0] * 13
+        with pytest.raises(ValueError, match="limited to 22 tasks"):
+            solve(tricrit_chain_problem(weights, 3.0),
+                  solver="tricrit-chain-exact")
+        plan = plan_batch([tricrit_chain_problem(weights, 3.0)],
+                          "tricrit-chain-exact")
+        assert plan.kernel_counts() == {KERNEL_SCALAR: 1}
+        with pytest.raises(ValueError, match="limited to 22 tasks"):
+            solve_batch([tricrit_chain_problem(weights, 3.0)],
+                        solver="tricrit-chain-exact")
+
+    def test_infeasible_chain_status_matches(self):
+        problem = chain_problem([4.0, 4.0], 0.5)   # needs speed > fmax
+        scalar = solve(BiCritProblem(problem.mapping, problem.platform,
+                                     problem.deadline))
+        [batch] = solve_batch([problem])
+        assert scalar.status == batch.status == "infeasible"
+        assert batch.schedule is None
+        assert batch.metadata["message"] == scalar.metadata["message"]

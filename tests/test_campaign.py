@@ -210,6 +210,54 @@ class TestParallelRunner:
             assert left.key == right.key
             assert left.record["result"] == right.record["result"]
 
+    def test_batched_engine_produces_byte_identical_result_payloads(self, tmp_path):
+        """jobs=1, jobs=4 and the in-process batched path must agree exactly.
+
+        The comparison is on the canonical JSON bytes of the cached
+        ``result`` payloads: instance seeds are fixed at expansion time and
+        every deterministic scenario's result is a pure function of its
+        parameters, so execution placement (serial / pool / in-process
+        batched) must not leak into the records.
+        """
+        names = FAST + ("e13-solver-ablation",)
+        runs = {
+            "jobs1": run_campaign(smoke_instances(names), jobs=1,
+                                  cache=ResultCache(tmp_path / "jobs1")),
+            "jobs4": run_campaign(smoke_instances(names), jobs=4,
+                                  cache=ResultCache(tmp_path / "jobs4")),
+            "batched": run_campaign(smoke_instances(names), jobs=4,
+                                    engine="batch",
+                                    cache=ResultCache(tmp_path / "batched")),
+        }
+        assert all(outcome.errors == 0 for outcome in runs.values())
+        reference = [
+            json.dumps(r.record["result"], sort_keys=True).encode()
+            for r in runs["jobs1"].results
+        ]
+        for label in ("jobs4", "batched"):
+            payloads = [
+                json.dumps(r.record["result"], sort_keys=True).encode()
+                for r in runs[label].results
+            ]
+            assert payloads == reference, f"{label} diverged from jobs=1"
+        # The batched run must also hit the same cache keys (same params):
+        # e13's default engine is already "batch", so the override is a
+        # no-op on the key.
+        for left, right in zip(runs["jobs1"].results, runs["batched"].results):
+            assert left.key == right.key
+
+    def test_engine_override_rejects_unknown_and_skips_engineless(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_campaign(smoke_instances(), engine="warp",
+                         cache=ResultCache(tmp_path / "x"))
+        # e1 takes no engine parameter: the scalar override must not add one
+        # (which would change its cache key).
+        outcome = run_campaign(smoke_instances(("e1-fork-closed-form",)),
+                               engine="scalar",
+                               cache=ResultCache(tmp_path / "scalar"))
+        assert outcome.errors == 0
+        assert "engine" not in outcome.results[0].record["params"]
+
     def test_progress_lines_stream_per_instance(self, tmp_path):
         lines = []
         run_campaign(smoke_instances(), jobs=1,
