@@ -5,9 +5,10 @@
 #   make lint           - ruff check (critical rules; skipped when ruff is absent)
 #   make smoke          - reduced-size smoke of the simulation + batch-solver perf paths
 #   make campaign-smoke - every E1-E13 scenario through the campaign runner
+#   make serve-smoke    - boot `python -m repro serve`, POST a solve + a batch, assert 200/schema
 #   make refresh-golden - intentionally regenerate tests/golden/*.json snapshots
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
-#   make check          - lint + coverage + smoke + campaign-smoke: what CI runs on every PR
+#   make check          - lint + coverage + smoke + campaign-smoke + serve-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -17,14 +18,14 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # generics, redundant open modes, collections.abc imports.
 RUFF_RULES ?= E9,F63,F7,F82,B006,B008,B011,UP006,UP015,UP035
 
-.PHONY: test lint smoke campaign-smoke bench check coverage refresh-golden
+.PHONY: test lint smoke campaign-smoke serve-smoke bench check coverage refresh-golden
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check --select $(RUFF_RULES) src tests benchmarks examples; \
+		ruff check --select $(RUFF_RULES) src tests benchmarks examples scripts; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it -- pip install ruff)"; \
 	fi
@@ -56,9 +57,14 @@ campaign-smoke:
 	REPRO_E11_TRIALS=500 REPRO_BENCH_TRIALS=300 \
 		$(PYTHON) -m repro campaign all --smoke --jobs 2
 
+# End-to-end gate on the v1 HTTP API: boots the real `python -m repro serve`
+# subprocess on a free port and asserts one solve and one batch round trip.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
 # bench_*.py does not match pytest's default test_*.py discovery glob, so the
 # files are passed explicitly (shell glob) rather than as a directory.
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: lint coverage smoke campaign-smoke
+check: lint coverage smoke campaign-smoke serve-smoke

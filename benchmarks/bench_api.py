@@ -1,0 +1,146 @@
+"""Wall-clock harness for the v1 API facade (``repro.api``).
+
+Measures the two service-grade claims of the API layer and records them to
+``BENCH_api.json`` at the repository root:
+
+* **Engine result cache** -- repeat solves of instances already in the LRU
+  must be served at least 10x faster than the cold solves that populated
+  it (the acceptance bar of the API PR).  Measured twice: with problem
+  *objects* (in-process consumers; content hash memoized on the instance)
+  and with problem *dicts* (wire-shaped payloads; every request re-hashes
+  the JSON payload);
+* **serve throughput** -- requests per second through a real
+  ``ThreadingHTTPServer`` on localhost, for single ``POST /v1/solve``
+  calls (warm cache) and for a ``POST /v1/solve-batch`` with a vectorized
+  instance group.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_api.py -q -s
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api import Engine, SolveBatchRequest, SolveRequest
+from repro.api.server import make_server
+from repro.core.problem_io import problem_to_dict
+from repro.experiments.instances import chain_suite, tricrit_problem
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_api.json"
+
+#: Cached repeats must beat cold solves by at least this factor.
+CACHE_SPEEDUP_BAR = 10.0
+
+#: Instance count knobs (reduced in CI via the usual env override).
+NUM_INSTANCES = int(os.environ.get("REPRO_BENCH_API_INSTANCES", "24"))
+SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_API_REQUESTS", "200"))
+
+
+def _instances():
+    """TRI-CRIT chains: each cold solve runs the subset-enumeration solver,
+    so the cold/cached contrast measures a real (not trivial) workload."""
+    specs = chain_suite(sizes=(8,), slacks=(2.0, 2.5, 3.0), seed=59)
+    problems = []
+    for i in range(NUM_INSTANCES):
+        spec = specs[i % len(specs)]
+        problems.append(tricrit_problem(spec, frel=0.8 - 0.004 * i))
+    return problems
+
+
+def _timed_loop(func, items):
+    t0 = time.perf_counter()
+    for item in items:
+        func(item)
+    return (time.perf_counter() - t0) / len(items)
+
+
+def test_engine_cache_speedup_and_serve_throughput(run_once):
+    problems = _instances()
+    payloads = [problem_to_dict(p) for p in problems]
+
+    # --- object path (in-process consumers) ---------------------------
+    engine = Engine()
+    cold_obj = _timed_loop(lambda p: engine.solve(SolveRequest(p)), problems)
+    warm_obj = _timed_loop(lambda p: engine.solve(SolveRequest(p)), problems)
+
+    # --- wire path (dict payloads re-hashed per request) --------------
+    engine_wire = Engine()
+    cold_wire = _timed_loop(lambda p: engine_wire.solve(SolveRequest(p)),
+                            payloads)
+    warm_wire = _timed_loop(lambda p: engine_wire.solve(SolveRequest(p)),
+                            payloads)
+
+    speedup_obj = cold_obj / warm_obj
+    speedup_wire = cold_wire / warm_wire
+
+    # --- serve throughput over a real socket --------------------------
+    server = make_server(port=0, engine=engine)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        body = json.dumps({"problem": payloads[0]}).encode("utf-8")
+        t0 = time.perf_counter()
+        for _ in range(SERVE_REQUESTS):
+            conn.request("POST", "/v1/solve", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+        solve_rps = SERVE_REQUESTS / (time.perf_counter() - t0)
+
+        batch_body = json.dumps({"problems": payloads}).encode("utf-8")
+        t0 = time.perf_counter()
+        conn.request("POST", "/v1/solve-batch", body=batch_body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 200
+        batch_payload = json.loads(response.read().decode("utf-8"))
+        batch_seconds = time.perf_counter() - t0
+        assert batch_payload["count"] == len(payloads)
+        conn.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    record = {
+        "instances": len(problems),
+        "engine_cache": {
+            "object_cold_ms": cold_obj * 1e3,
+            "object_cached_ms": warm_obj * 1e3,
+            "object_speedup": speedup_obj,
+            "wire_cold_ms": cold_wire * 1e3,
+            "wire_cached_ms": warm_wire * 1e3,
+            "wire_speedup": speedup_wire,
+            "speedup_bar": CACHE_SPEEDUP_BAR,
+        },
+        "serve": {
+            "solve_requests": SERVE_REQUESTS,
+            "solve_requests_per_second": solve_rps,
+            "batch_instances": len(payloads),
+            "batch_seconds": batch_seconds,
+            "batch_instances_per_second": len(payloads) / batch_seconds,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[bench_api] cold {cold_obj * 1e3:.3f} ms -> cached "
+          f"{warm_obj * 1e3:.4f} ms per solve ({speedup_obj:.0f}x objects, "
+          f"{speedup_wire:.0f}x wire payloads); serve {solve_rps:.0f} req/s, "
+          f"batch {len(payloads) / batch_seconds:.0f} instances/s "
+          f"-> {BENCH_PATH.name}")
+
+    assert speedup_obj >= CACHE_SPEEDUP_BAR, (
+        f"engine-cached repeat solves only {speedup_obj:.1f}x faster than "
+        f"cold (bar: {CACHE_SPEEDUP_BAR}x)")
+    assert speedup_wire >= CACHE_SPEEDUP_BAR, (
+        f"wire-payload cached solves only {speedup_wire:.1f}x faster than "
+        f"cold (bar: {CACHE_SPEEDUP_BAR}x)")

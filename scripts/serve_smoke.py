@@ -1,0 +1,129 @@
+"""End-to-end smoke of ``python -m repro serve`` (the ``make serve-smoke`` gate).
+
+Launches the real CLI server as a subprocess on a free port, waits for
+``/healthz``, then POSTs one ``/v1/solve`` and one ``/v1/solve-batch`` and
+asserts HTTP 200 with the documented response schema.  Exits non-zero (with
+the server log on stderr) on any failure, so CI catches a broken serve path
+even when the in-process tests pass.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+TIMEOUT_SECONDS = 60.0
+
+SOLVE_FIELDS = ("api_version", "energy", "status", "solver", "feasible",
+                "makespan", "speeds", "num_reexecuted", "dispatch", "cached",
+                "elapsed_ms")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def request(port: int, method: str, path: str, body: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def wait_for_health(port: int, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            status, payload = request(port, "GET", "/healthz")
+            if status == 200 and payload.get("status") == "ok":
+                return
+        except OSError:
+            pass
+        time.sleep(0.2)
+    raise RuntimeError(f"server did not become healthy within "
+                       f"{TIMEOUT_SECONDS}s on port {port}")
+
+
+def sample_problem() -> dict:
+    from repro.core import BiCritProblem, ContinuousSpeeds
+    from repro.core.problem_io import problem_to_dict
+    from repro.dag import generators
+    from repro.platform import Mapping, Platform
+
+    graph = generators.fork(3.0, [2.0, 5.0, 1.0, 4.0])
+    platform = Platform(5, ContinuousSpeeds(0.1, 2.0))
+    problem = BiCritProblem(Mapping.one_task_per_processor(graph), platform,
+                            deadline=6.0)
+    return problem_to_dict(problem)
+
+
+def check_solve_payload(payload: dict, what: str) -> None:
+    missing = [f for f in SOLVE_FIELDS if f not in payload]
+    assert not missing, f"{what}: missing response field(s) {missing}"
+    assert payload["api_version"] == "v1", what
+    assert payload["feasible"] is True, what
+    assert payload["energy"] > 0, what
+
+
+def main() -> int:
+    port = free_port()
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=os.environ.copy())
+    try:
+        wait_for_health(port, time.monotonic() + TIMEOUT_SECONDS)
+        problem = sample_problem()
+
+        status, payload = request(port, "POST", "/v1/solve",
+                                  {"problem": problem})
+        assert status == 200, f"/v1/solve returned {status}: {payload}"
+        check_solve_payload(payload, "/v1/solve")
+
+        status, payload = request(port, "POST", "/v1/solve-batch",
+                                  {"problems": [problem, problem, problem]})
+        assert status == 200, f"/v1/solve-batch returned {status}: {payload}"
+        assert payload["count"] == 3, payload
+        for item in payload["results"]:
+            check_solve_payload(item, "/v1/solve-batch result")
+        assert payload["cached_count"] >= 1, \
+            "repeat instances in the batch should hit the engine cache"
+
+        status, payload = request(port, "GET", "/metrics")
+        assert status == 200 and payload["requests_total"] >= 2, payload
+
+        print(f"serve-smoke OK on port {port}: /v1/solve and /v1/solve-batch "
+              f"answered 200 with the v1 schema "
+              f"(cache hit rate {payload['cache']['hit_rate']:.2f})")
+        return 0
+    except Exception as exc:  # noqa: BLE001 - report and fail the gate
+        print(f"serve-smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.terminate()
+        try:
+            out, _ = server.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            out, _ = server.communicate()
+        if out:
+            sys.stderr.write("--- server log ---\n" + out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,17 @@
 """repro: energy-aware DVFS scheduling under makespan and reliability constraints.
 
-Reproduction of *"Energy-aware Scheduling: Models and Complexity Results"*
-(Guillaume Aupy, IPDPSW / PhD Forum 2012).  The library implements the
-paper's models -- CONTINUOUS, DISCRETE, VDD-HOPPING and INCREMENTAL speed
-models, the cube-law energy model, the exponential transient-fault
-reliability model with re-execution -- together with every algorithmic
-result it states: closed forms for chains/forks/series-parallel graphs, the
-convex (geometric-programming) formulation for general DAGs, the
-VDD-HOPPING linear program, the INCREMENTAL approximation algorithm, the
-NP-hardness reductions, and the two complementary TRI-CRIT heuristic
-families, plus the substrates (task graphs, platforms, list scheduling,
-LP/MILP solvers, fault-injection simulator) needed to evaluate them.
+Reproduction of ``conf_ipps_Aupy12`` -- *"Energy-aware Scheduling: Models
+and Complexity Results"* (Guillaume Aupy, IPDPS 2012 Workshops & PhD Forum);
+see ``PAPER.md`` for the source record.  The library implements the paper's
+models -- CONTINUOUS, DISCRETE, VDD-HOPPING and INCREMENTAL speed models,
+the cube-law energy model, the exponential transient-fault reliability model
+with re-execution -- together with every algorithmic result it states:
+closed forms for chains/forks/series-parallel graphs, the convex
+(geometric-programming) formulation for general DAGs, the VDD-HOPPING
+linear program, the INCREMENTAL approximation algorithm, the NP-hardness
+reductions, and the two complementary TRI-CRIT heuristic families, plus the
+substrates (task graphs, platforms, list scheduling, LP/MILP solvers,
+fault-injection simulator) needed to evaluate them.
 
 Quick start::
 
@@ -26,73 +27,120 @@ Quick start::
     result = solve_bicrit_continuous(problem)
     print(result.energy, result.schedule.makespan())
 
-See ``README.md`` for an overview, the experiment index E1-E12 and the
-``python -m repro`` campaign CLI, and ``PERFORMANCE.md`` for the performance
-notes on the batch simulation kernel and the campaign runner.
+The stable service-grade front door is :mod:`repro.api` (the versioned v1
+facade behind ``python -m repro serve``); see ``README.md`` for an overview,
+the experiment index E1-E13, the ``python -m repro`` campaign CLI and the
+"Serving" section, and ``PERFORMANCE.md`` for the performance notes.
+
+Subpackages and the most-used classes are imported lazily (PEP 562): a bare
+``import repro`` stays cheap and pulls in no experiment or campaign code
+until an attribute is actually touched.
 """
 
 from __future__ import annotations
 
-from . import (
-    baselines,
-    campaign,
-    complexity,
-    continuous,
-    core,
-    dag,
-    discrete,
-    experiments,
-    lp,
-    optimize,
-    platform,
-    simulation,
-    solvers,
-)
-from .core import (
-    BiCritProblem,
-    ContinuousSpeeds,
-    DiscreteSpeeds,
-    EnergyModel,
-    IncrementalSpeeds,
-    ReliabilityModel,
-    Schedule,
-    SolveResult,
-    TriCritProblem,
-    VddHoppingSpeeds,
-)
-from .dag import TaskGraph
-from .platform import Mapping, Platform
+from importlib import import_module
+from typing import TYPE_CHECKING, Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    # subpackages
+#: Lazily imported subpackages (``repro.<name>`` loads on first attribute
+#: access instead of at ``import repro`` time).
+_SUBPACKAGES = frozenset({
+    "api",
+    "baselines",
+    "campaign",
+    "complexity",
+    "continuous",
     "core",
     "dag",
-    "platform",
+    "discrete",
+    "experiments",
     "lp",
     "optimize",
-    "continuous",
-    "discrete",
-    "complexity",
+    "platform",
     "simulation",
-    "baselines",
-    "experiments",
-    "campaign",
     "solvers",
-    # most-used classes re-exported at the top level
-    "TaskGraph",
-    "Platform",
-    "Mapping",
-    "EnergyModel",
-    "ReliabilityModel",
-    "Schedule",
-    "SolveResult",
-    "BiCritProblem",
-    "TriCritProblem",
-    "ContinuousSpeeds",
-    "DiscreteSpeeds",
-    "VddHoppingSpeeds",
-    "IncrementalSpeeds",
+})
+
+#: Most-used classes re-exported at the top level, and the canonical error
+#: types of the API error mapping -- each resolved from its home subpackage
+#: on first access.
+_LAZY_EXPORTS = {
+    "TaskGraph": "dag",
+    "Platform": "platform",
+    "Mapping": "platform",
+    "EnergyModel": "core",
+    "ReliabilityModel": "core",
+    "Schedule": "core",
+    "SolveResult": "core",
+    "BiCritProblem": "core",
+    "TriCritProblem": "core",
+    "InfeasibleProblemError": "core",
+    "ContinuousSpeeds": "core",
+    "DiscreteSpeeds": "core",
+    "VddHoppingSpeeds": "core",
+    "IncrementalSpeeds": "core",
+    "InadmissibleSolverError": "solvers",
+    "NoAdmissibleSolverError": "solvers",
+}
+
+__all__ = [
+    "__version__",
+    *sorted(_SUBPACKAGES),
+    *_LAZY_EXPORTS,
 ]
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
+    from . import (  # noqa: F401
+        api,
+        baselines,
+        campaign,
+        complexity,
+        continuous,
+        core,
+        dag,
+        discrete,
+        experiments,
+        lp,
+        optimize,
+        platform,
+        simulation,
+        solvers,
+    )
+    from .core import (  # noqa: F401
+        BiCritProblem,
+        ContinuousSpeeds,
+        DiscreteSpeeds,
+        EnergyModel,
+        IncrementalSpeeds,
+        InfeasibleProblemError,
+        ReliabilityModel,
+        Schedule,
+        SolveResult,
+        TriCritProblem,
+        VddHoppingSpeeds,
+    )
+    from .dag import TaskGraph  # noqa: F401
+    from .platform import Mapping, Platform  # noqa: F401
+    from .solvers import (  # noqa: F401
+        InadmissibleSolverError,
+        NoAdmissibleSolverError,
+    )
+
+
+def __getattr__(name: str) -> Any:
+    """PEP 562 lazy loader for subpackages and top-level re-exports."""
+    if name in _SUBPACKAGES:
+        # import_module binds the submodule as an attribute on this package.
+        return import_module(f".{name}", __name__)
+    source = _LAZY_EXPORTS.get(name)
+    if source is not None:
+        value = getattr(import_module(f".{source}", __name__), name)
+        globals()[name] = value       # cache: next access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,4 +1,9 @@
-"""``python -m repro`` -- the campaign orchestration command line."""
+"""``python -m repro`` -- campaign orchestration and the v1 API server.
+
+``python -m repro serve`` exposes the library over HTTP (see
+:mod:`repro.api`); the remaining subcommands drive the experiment
+campaigns (see :mod:`repro.campaign.cli`).
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,510 @@
+"""The long-lived :class:`Engine`: shared hot-path state behind the v1 API.
+
+Before this facade existed every caller paid per-call setup that a service
+must amortise: each ``solve()`` parsed its own problem, built its own
+:class:`~repro.solvers.context.SolverContext`, and repeated solves of the
+same instance re-ran the full solver.  The engine owns that state once, for
+the life of the process:
+
+* a **problem pool** -- problems arriving as JSON dicts are interned by
+  content hash, so repeated requests for the same instance reuse one problem
+  object and therefore one memoized ``SolverContext`` (structure probes,
+  re-execution floors, compiled arrays);
+* an **LRU result cache** -- solve results keyed by the same canonical
+  content hash the campaign cache uses (problem JSON + solver + options);
+  a repeat solve is a dictionary lookup, flagged ``cached`` in the response;
+* a **batched submit path** -- :meth:`submit_batch` routes whole instance
+  lists through :func:`repro.solvers.batch.solve_batch`, which groups
+  homogeneous (structure x speed model x solver) runs into single vectorized
+  programs, while cache hits are peeled off first;
+* **service metrics** -- request counters, cache hit rates and a latency
+  ring buffer (p50/p99) exported by ``GET /metrics``.
+
+Two layers share one engine: the *object* layer (:meth:`submit` /
+:meth:`submit_batch`, returning raw
+:class:`~repro.core.problems.SolveResult`\\ s -- what the experiment drivers
+and the campaign runner consume) and the *wire* layer (:meth:`solve` /
+:meth:`solve_batch` / :meth:`simulate` / :meth:`campaign`, taking the typed
+requests of :mod:`repro.api.types` and returning JSON-ready responses -- what
+the HTTP service consumes).  Both are thread-safe; the HTTP server is a
+``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import Counter, OrderedDict, deque
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..core.problems import BiCritProblem, SolveResult
+from ..simulation import run_monte_carlo
+from ..solvers import SolverContext, get_solver
+from ..solvers.batch import solve_batch as _kernel_solve_batch
+from ..solvers.dispatch import solve as _kernel_solve
+from .errors import (
+    INTERNAL_ERROR,
+    INVALID_PROBLEM,
+    INVALID_REQUEST,
+    SIZE_LIMIT,
+    UNKNOWN_SCENARIO,
+    UNKNOWN_SOLVER,
+    ApiError,
+    error_from_exception,
+)
+from .types import (
+    CampaignRequest,
+    CampaignResponse,
+    SimulateRequest,
+    SimulateResponse,
+    SolveBatchRequest,
+    SolveBatchResponse,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = ["Engine", "problem_content_key",
+           "DEFAULT_MAX_TASKS", "DEFAULT_MAX_BATCH", "DEFAULT_CACHE_SIZE"]
+
+#: Positive-task cap per instance; larger requests get ``size_limit``.
+DEFAULT_MAX_TASKS = 512
+#: Instance cap per solve-batch request.
+DEFAULT_MAX_BATCH = 4096
+#: Result-cache capacity (LRU entries).
+DEFAULT_CACHE_SIZE = 2048
+#: Problem-pool capacity (interned parsed problems).
+DEFAULT_POOL_SIZE = 4096
+#: Per-route latency ring-buffer length for the p50/p99 metrics.
+DEFAULT_LATENCY_WINDOW = 2048
+
+#: Attribute memoizing the content hash on the (frozen) problem object,
+#: mirroring how ``SolverContext.for_problem`` memoizes the context.
+_KEY_ATTR = "_api_content_key"
+
+
+def _canonical_blob(value: Any) -> bytes:
+    # Deferred import: repro.campaign pulls the experiment drivers in via its
+    # registry, and the experiment drivers import repro.api -- importing the
+    # cache module lazily keeps repro.api importable on its own.
+    from ..campaign.cache import canonicalize
+
+    return json.dumps(canonicalize(value), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def problem_content_key(problem: BiCritProblem) -> str:
+    """Stable content hash of a problem instance (its JSON schema form).
+
+    The hash is memoized on the problem object, so in-process consumers that
+    resubmit the same instance (ablation grids, Pareto sweeps) pay the
+    serialisation exactly once -- the same trick
+    :meth:`~repro.solvers.context.SolverContext.for_problem` uses.
+    """
+    key = getattr(problem, _KEY_ATTR, None)
+    if key is None:
+        from ..core.problem_io import problem_to_dict
+
+        key = hashlib.sha256(_canonical_blob(problem_to_dict(problem))).hexdigest()
+        object.__setattr__(problem, _KEY_ATTR, key)
+    return key
+
+
+class _LRU:
+    """Minimal ordered-dict LRU (the engine holds the lock)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.data: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, key: str) -> Any | None:
+        value = self.data.get(key)
+        if value is not None:
+            self.data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self.data[key] = value
+        self.data.move_to_end(key)
+        while len(self.data) > self.capacity:
+            self.data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class Engine:
+    """Long-lived solver service state: caches, batch routing, metrics."""
+
+    def __init__(self, *, cache_size: int = DEFAULT_CACHE_SIZE,
+                 problem_pool_size: int = DEFAULT_POOL_SIZE,
+                 max_tasks: int | None = DEFAULT_MAX_TASKS,
+                 max_batch: int | None = DEFAULT_MAX_BATCH,
+                 latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        """``max_tasks`` / ``max_batch`` are per-request admission caps
+        (``size_limit`` beyond them); ``None`` disables a cap -- the shared
+        in-process engine of :func:`repro.api.default_engine` runs
+        uncapped, the HTTP server keeps the service defaults."""
+        self.max_tasks = max_tasks
+        self.max_batch = max_batch
+        self._results = _LRU(cache_size)
+        self._problems = _LRU(problem_pool_size)
+        self._lock = threading.RLock()
+        self._counters: Counter[str] = Counter()
+        self._error_counters: Counter[str] = Counter()
+        self._latencies: dict[str, deque[float]] = {}
+        self._latency_window = latency_window
+        self._created = time.time()
+
+    # ------------------------------------------------------------------
+    # problem intake
+    # ------------------------------------------------------------------
+    def resolve_problem(self, payload: Any) -> BiCritProblem:
+        """A problem object from wire or in-process form.
+
+        Dicts are parsed through :func:`repro.core.problem_io` and interned
+        by content hash, so identical payloads share one problem object (and
+        its memoized :class:`SolverContext`); problem objects pass through.
+        Parse failures raise ``invalid_problem``.
+        """
+        if isinstance(payload, BiCritProblem):
+            return payload
+        if not isinstance(payload, Mapping):
+            raise ApiError(INVALID_PROBLEM,
+                           "problem must be a JSON object (the schema of "
+                           f"repro.core.problem_io), got {type(payload).__name__}")
+        try:
+            pool_key = hashlib.sha256(_canonical_blob(payload)).hexdigest()
+        except TypeError as exc:
+            raise ApiError(INVALID_PROBLEM,
+                           f"problem payload is not JSON-canonicalisable: {exc}") from exc
+        with self._lock:
+            problem = self._problems.get(pool_key)
+        if problem is not None:
+            return problem
+        from ..core.problem_io import problem_from_dict
+
+        try:
+            problem = problem_from_dict(dict(payload))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ApiError(INVALID_PROBLEM,
+                           f"cannot parse problem payload: "
+                           f"{type(exc).__name__}: {exc}") from exc
+        with self._lock:
+            self._problems.put(pool_key, problem)
+        return problem
+
+    def _check_size(self, problem: BiCritProblem) -> None:
+        if self.max_tasks is None:
+            return
+        n = problem.graph.num_tasks
+        if n > self.max_tasks:
+            raise ApiError(SIZE_LIMIT,
+                           f"instance has {n} tasks, engine limit is "
+                           f"{self.max_tasks}",
+                           detail={"tasks": n, "max_tasks": self.max_tasks})
+
+    @staticmethod
+    def _check_solver_name(solver: str) -> None:
+        if solver != "auto":
+            try:
+                get_solver(solver)
+            except KeyError as exc:
+                raise ApiError(UNKNOWN_SOLVER, str(exc.args[0])) from exc
+
+    def _request_key(self, problem: BiCritProblem, solver: str,
+                     options: Mapping[str, Any]) -> str:
+        try:
+            blob = _canonical_blob({"solver": solver, "options": dict(options)})
+        except TypeError as exc:
+            raise ApiError(INVALID_REQUEST,
+                           f"options are not JSON-canonicalisable: {exc}") from exc
+        return hashlib.sha256(
+            (problem_content_key(problem) + "|").encode("utf-8") + blob).hexdigest()
+
+    # ------------------------------------------------------------------
+    # object layer (internal consumers: experiments, campaign, benchmarks)
+    # ------------------------------------------------------------------
+    def submit(self, problem: Any, solver: str = "auto", *,
+               options: Mapping[str, Any] | None = None,
+               context: SolverContext | None = None,
+               use_cache: bool = True) -> tuple[SolveResult, bool]:
+        """Solve one instance through the engine; ``(result, was_cached)``.
+
+        This is the in-process front door: the experiment drivers and the
+        wire layer both route through it, so they share the result cache and
+        the context pool.  Library exceptions
+        (:class:`~repro.solvers.dispatch.NoAdmissibleSolverError`, ...)
+        propagate unchanged -- translation into :class:`ApiError` codes is a
+        wire-layer concern (admission failures such as ``size_limit`` /
+        ``unknown_solver`` / ``invalid_problem`` are the engine's own and do
+        raise :class:`ApiError` on both layers).
+        """
+        result, cached, _ = self._solve_entry(problem, solver,
+                                              dict(options or {}),
+                                              context, use_cache)
+        return result, cached
+
+    def _solve_entry(self, problem: Any, solver: str, options: dict[str, Any],
+                     context: SolverContext | None,
+                     use_cache: bool) -> tuple[SolveResult, bool, float]:
+        problem = self.resolve_problem(problem)
+        self._check_size(problem)
+        self._check_solver_name(solver)
+        key = self._request_key(problem, solver, options)
+        if use_cache:
+            with self._lock:
+                hit = self._results.get(key)
+            if hit is not None:
+                with self._lock:
+                    self._counters["cache_hits"] += 1
+                return hit, True, 0.0
+        t0 = time.perf_counter()
+        result = _kernel_solve(problem, solver=solver, context=context,
+                               **options)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        if use_cache:
+            # Cache-bypassing solves never consulted the cache, so they do
+            # not count against the hit rate.
+            with self._lock:
+                self._counters["cache_misses"] += 1
+                self._results.put(key, result)
+        return result, False, elapsed_ms
+
+    def submit_batch(self, problems: Sequence[Any], solver: str = "auto", *,
+                     contexts: Sequence[SolverContext] | None = None,
+                     options: Mapping[str, Any] | None = None,
+                     use_cache: bool = True) -> list[tuple[SolveResult, bool]]:
+        """Solve many instances; cache hits are peeled off, the misses run
+        through the vectorized batch kernel as homogeneous groups.
+
+        Returns ``(result, was_cached)`` pairs in input order.  One
+        inadmissible instance fails the whole request (matching the scalar
+        dispatch semantics of :func:`repro.solvers.batch.plan_batch`);
+        like :meth:`submit`, library exceptions propagate unchanged on this
+        object layer.
+        """
+        options = dict(options or {})
+        if self.max_batch is not None and len(problems) > self.max_batch:
+            raise ApiError(SIZE_LIMIT,
+                           f"batch has {len(problems)} instances, engine "
+                           f"limit is {self.max_batch}",
+                           detail={"instances": len(problems),
+                                   "max_batch": self.max_batch})
+        resolved = [self.resolve_problem(p) for p in problems]
+        for problem in resolved:
+            self._check_size(problem)
+        self._check_solver_name(solver)
+        if contexts is not None and len(contexts) != len(resolved):
+            raise ApiError(INVALID_REQUEST,
+                           "contexts must match problems one-to-one")
+
+        keys = [self._request_key(p, solver, options) for p in resolved]
+        out: list[tuple[SolveResult, bool] | None] = [None] * len(resolved)
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            hit = None
+            if use_cache:
+                with self._lock:
+                    hit = self._results.get(key)
+            if hit is not None:
+                out[i] = (hit, True)
+            else:
+                misses.append(i)
+        if use_cache:
+            with self._lock:
+                self._counters["cache_hits"] += len(resolved) - len(misses)
+                self._counters["cache_misses"] += len(misses)
+        if misses:
+            miss_problems = [resolved[i] for i in misses]
+            miss_contexts = ([contexts[i] for i in misses]
+                             if contexts is not None else None)
+            results = _kernel_solve_batch(miss_problems, solver,
+                                          contexts=miss_contexts, **options)
+            with self._lock:
+                for i, result in zip(misses, results):
+                    out[i] = (result, False)
+                    if use_cache:
+                        self._results.put(keys[i], result)
+        return [pair for pair in out if pair is not None]
+
+    # ------------------------------------------------------------------
+    # wire layer (the HTTP service)
+    # ------------------------------------------------------------------
+    def _build_response(self, result: SolveResult, *, cached: bool,
+                        elapsed_ms: float) -> SolveResponse:
+        from ..campaign.cache import canonicalize
+
+        schedule = result.schedule
+        speeds: dict[str, list[float]] = {}
+        makespan = None
+        num_reexecuted = 0
+        if schedule is not None:
+            speeds = {str(t): [float(x) for x in s]
+                      for t, s in schedule.speed_assignment().items()}
+            makespan = float(schedule.makespan())
+            num_reexecuted = schedule.num_reexecuted()
+        return SolveResponse(
+            energy=float(result.energy), status=result.status,
+            solver=result.solver, feasible=result.feasible,
+            makespan=makespan, speeds=speeds, num_reexecuted=num_reexecuted,
+            dispatch=canonicalize(result.metadata.get("dispatch", {})),
+            cached=cached, elapsed_ms=elapsed_ms)
+
+    @staticmethod
+    def _translate(exc: Exception) -> ApiError:
+        """Wire-layer error mapping (library exception -> stable code)."""
+        return error_from_exception(exc)
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """``POST /v1/solve``: one instance through cache + dispatch."""
+        try:
+            result, cached, elapsed_ms = self._solve_entry(
+                request.problem, request.solver, dict(request.options),
+                None, True)
+        except Exception as exc:
+            raise self._translate(exc) from exc
+        return self._build_response(result, cached=cached, elapsed_ms=elapsed_ms)
+
+    def solve_batch(self, request: SolveBatchRequest) -> SolveBatchResponse:
+        """``POST /v1/solve-batch``: grouped vectorized evaluation."""
+        t0 = time.perf_counter()
+        try:
+            pairs = self.submit_batch(request.problems, request.solver,
+                                      options=request.options)
+        except Exception as exc:
+            raise self._translate(exc) from exc
+        executed = sum(1 for _, cached in pairs if not cached)
+        per_miss_ms = ((time.perf_counter() - t0) * 1e3 / executed
+                       if executed else 0.0)
+        return SolveBatchResponse(results=[
+            self._build_response(result, cached=cached,
+                                 elapsed_ms=0.0 if cached else per_miss_ms)
+            for result, cached in pairs])
+
+    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+        """``POST /v1/simulate``: solve, then Monte-Carlo the schedule."""
+        try:
+            result, cached, elapsed_ms = self._solve_entry(
+                request.problem, request.solver, dict(request.options),
+                None, True)
+        except Exception as exc:
+            raise self._translate(exc) from exc
+        if result.schedule is None:
+            raise ApiError(INVALID_REQUEST,
+                           f"solver {result.solver!r} returned status "
+                           f"{result.status!r} without a schedule; nothing to "
+                           "simulate", detail={"status": result.status})
+        summary = run_monte_carlo(result.schedule, request.trials,
+                                  seed=request.seed, engine=request.engine)
+        return SimulateResponse(
+            solve=self._build_response(result, cached=cached,
+                                       elapsed_ms=elapsed_ms),
+            trials=summary.trials,
+            success_rate=float(summary.success_rate),
+            success_stderr=float(summary.success_stderr),
+            analytic_reliability=float(summary.analytic_reliability),
+            mean_energy=float(summary.mean_energy),
+            mean_makespan=float(summary.mean_makespan),
+            max_makespan=float(summary.max_makespan),
+            mean_attempts=float(summary.mean_attempts),
+            engine=request.engine)
+
+    def campaign(self, request: CampaignRequest) -> CampaignResponse:
+        """``POST /v1/campaign``: one scenario through the campaign cache."""
+        from ..campaign.cache import ResultCache, canonicalize
+        from ..campaign.registry import get_scenario
+        from ..campaign.runner import run_campaign
+
+        try:
+            spec = get_scenario(request.scenario)
+        except KeyError as exc:
+            raise ApiError(UNKNOWN_SCENARIO, str(exc.args[0])) from exc
+        try:
+            instance = spec.instance(request.params, smoke=request.smoke)
+        except KeyError as exc:
+            raise ApiError(INVALID_REQUEST, str(exc.args[0])) from exc
+        outcome = run_campaign(
+            [instance], name=f"api:{spec.name}", jobs=1,
+            cache=ResultCache(request.cache_dir),
+            use_cache=request.use_cache, refresh=request.refresh).results[0]
+        if not outcome.ok:
+            raise ApiError(INTERNAL_ERROR,
+                           f"scenario {spec.name!r} failed: {outcome.error}",
+                           detail={"scenario": spec.name})
+        return CampaignResponse(
+            scenario=spec.name, key=outcome.key, cached=outcome.cached,
+            elapsed_seconds=outcome.elapsed_seconds,
+            result=outcome.record["result"],
+            params=canonicalize(instance.params))
+
+    def solver_table(self) -> list[dict[str, Any]]:
+        """``GET /v1/solvers``: the registry capability rows."""
+        from ..solvers import capability_rows
+
+        return capability_rows()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def record_request(self, route: str, seconds: float, ok: bool) -> None:
+        """Count one handled request and feed the latency ring buffer."""
+        with self._lock:
+            self._counters[route] += 1
+            if not ok:
+                self._error_counters[route] += 1
+            buf = self._latencies.get(route)
+            if buf is None:
+                buf = self._latencies[route] = deque(maxlen=self._latency_window)
+            buf.append(seconds * 1e3)
+
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz``: liveness payload."""
+        from .. import __version__
+
+        return {"status": "ok", "version": __version__,
+                "api_version": "v1",
+                "uptime_seconds": time.time() - self._created}
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``: counters, cache hit rate, p50/p99 latency."""
+        with self._lock:
+            hits = self._counters["cache_hits"]
+            misses = self._counters["cache_misses"]
+            requests = {route: count for route, count in self._counters.items()
+                        if route not in ("cache_hits", "cache_misses")}
+            latency = {}
+            for route, buf in self._latencies.items():
+                values = sorted(buf)
+                latency[route] = {
+                    "count": len(values),
+                    "p50_ms": _percentile(values, 0.50),
+                    "p99_ms": _percentile(values, 0.99),
+                    "mean_ms": sum(values) / len(values) if values else 0.0,
+                }
+            return {
+                "uptime_seconds": time.time() - self._created,
+                "requests": requests,
+                "requests_total": sum(requests.values()),
+                "errors": dict(self._error_counters),
+                "cache": {
+                    "result_entries": len(self._results),
+                    "result_capacity": self._results.capacity,
+                    "problem_pool_entries": len(self._problems),
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                },
+                "limits": {"max_tasks": self.max_tasks,
+                           "max_batch": self.max_batch},
+                "latency_ms": latency,
+            }

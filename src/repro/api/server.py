@@ -1,0 +1,134 @@
+"""``python -m repro serve``: the stdlib HTTP transport of the v1 API.
+
+A :class:`~http.server.ThreadingHTTPServer` wrapping one shared
+:class:`~repro.api.service.Service` (and therefore one long-lived
+:class:`~repro.api.engine.Engine`): concurrent requests share the problem
+pool, the result cache and the metrics.  No third-party web framework is
+used -- the wire format is plain JSON over POST/GET, so ``curl`` is the whole
+client story (see the README's "Serving" section).
+
+``make_server(port=0)`` binds an ephemeral port (read it back from
+``server.server_address``), which is what the tests and the smoke script
+use; :func:`serve` is the blocking entry point behind the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections.abc import Sequence
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .engine import Engine
+from .service import Service
+
+__all__ = ["ApiServer", "make_server", "serve", "main",
+           "DEFAULT_HOST", "DEFAULT_PORT"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-api/1"
+    protocol_version = "HTTP/1.1"
+    # Response headers and body go out as separate writes; without
+    # TCP_NODELAY, Nagle + delayed ACK serialises them into ~40 ms stalls
+    # per keep-alive request on loopback.
+    disable_nagle_algorithm = True
+
+    # One code path for every method: the service does the routing.
+    def _dispatch(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        status, payload = self.server.service.handle(self.command, self.path,
+                                                     body)
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ApiServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`Service`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: Service, *,
+                 verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *,
+                engine: Engine | None = None,
+                verbose: bool = False) -> ApiServer:
+    """Build (and bind) the API server without starting its loop.
+
+    ``port=0`` binds an ephemeral port; the chosen one is in
+    ``server.server_address[1]``.
+    """
+    return ApiServer((host, port), Service(engine), verbose=verbose)
+
+
+def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *,
+          engine: Engine | None = None, verbose: bool = False) -> int:
+    """Run the server until interrupted (the ``python -m repro serve`` loop)."""
+    server = make_server(host, port, engine=engine, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro api v1 listening on http://{bound_host}:{bound_port} "
+          f"(POST /v1/solve, /v1/solve-batch, /v1/simulate, /v1/campaign; "
+          f"GET /v1/solvers, /healthz, /metrics)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve the repro v1 JSON API over HTTP "
+                    "(stdlib ThreadingHTTPServer; no extra dependencies).")
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port, 0 for ephemeral (default {DEFAULT_PORT})")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="per-instance task cap (size_limit above it)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="per-request instance cap for /v1/solve-batch")
+    parser.add_argument("--cache-size", type=int, default=None,
+                        help="result-cache capacity (LRU entries)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request line")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    overrides = {}
+    if args.max_tasks is not None:
+        overrides["max_tasks"] = args.max_tasks
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.cache_size is not None:
+        overrides["cache_size"] = args.cache_size
+    engine = Engine(**overrides) if overrides else None
+    return serve(args.host, args.port, engine=engine, verbose=args.verbose)

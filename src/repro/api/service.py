@@ -1,0 +1,152 @@
+"""Transport-independent request handling for the v1 API.
+
+:class:`Service` maps ``(method, path, body)`` triples onto engine calls and
+typed responses, so the HTTP server (:mod:`repro.api.server`), the smoke
+scripts and the tests all exercise exactly the same routing, validation and
+error mapping without needing a socket.  Every handled request -- success or
+failure -- is recorded in the engine's metrics with its latency.
+
+Routes (all payloads JSON)::
+
+    POST /v1/solve        SolveRequest       -> SolveResponse
+    POST /v1/solve-batch  SolveBatchRequest  -> SolveBatchResponse
+    POST /v1/simulate     SimulateRequest    -> SimulateResponse
+    POST /v1/campaign     CampaignRequest    -> CampaignResponse
+    GET  /v1/solvers      --                 -> {"solvers": [capability rows]}
+    GET  /healthz         --                 -> liveness payload
+    GET  /metrics         --                 -> counters / cache / latency
+
+Failures return an :class:`~repro.api.errors.ErrorResponse` wire payload and
+the HTTP status its code maps to.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from .engine import Engine
+from .errors import (
+    INVALID_JSON,
+    METHOD_NOT_ALLOWED,
+    NOT_FOUND,
+    ApiError,
+    error_from_exception,
+)
+from .types import (
+    API_VERSION,
+    CampaignRequest,
+    SimulateRequest,
+    SolveBatchRequest,
+    SolveRequest,
+)
+
+__all__ = ["Service", "ROUTES"]
+
+#: ``(method, path) -> handler name`` -- the wire surface, in one place.
+ROUTES: dict[tuple[str, str], str] = {
+    ("POST", f"/{API_VERSION}/solve"): "solve",
+    ("POST", f"/{API_VERSION}/solve-batch"): "solve_batch",
+    ("POST", f"/{API_VERSION}/simulate"): "simulate",
+    ("POST", f"/{API_VERSION}/campaign"): "campaign",
+    ("GET", f"/{API_VERSION}/solvers"): "solvers",
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+}
+
+_KNOWN_PATHS = frozenset(path for _, path in ROUTES)
+
+
+class Service:
+    """Route requests to a (possibly shared) :class:`Engine`."""
+
+    def __init__(self, engine: Engine | None = None) -> None:
+        self.engine = engine if engine is not None else Engine()
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: bytes | str | None = None) -> tuple[int, dict[str, Any]]:
+        """Handle one request; returns ``(http_status, json_payload)``.
+
+        Never raises: every failure is folded into an ``ErrorResponse``
+        payload with the matching status code.
+        """
+        method = method.upper()
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        t0 = time.perf_counter()
+        status, payload = self._dispatch(method, path, body)
+        # Metrics are keyed by *known* routes only; arbitrary client paths
+        # collapse into one bucket so a URL scanner cannot grow the
+        # counter/latency maps without bound.
+        route = (f"{method} {path}" if path in _KNOWN_PATHS else "unmatched")
+        self.engine.record_request(route, time.perf_counter() - t0,
+                                   ok=status < 400)
+        return status, payload
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, path: str,
+                  body: bytes | str | None) -> tuple[int, dict[str, Any]]:
+        try:
+            handler = ROUTES.get((method, path))
+            if handler is None:
+                if path in _KNOWN_PATHS:
+                    allowed = sorted(m for m, p in ROUTES if p == path)
+                    raise ApiError(METHOD_NOT_ALLOWED,
+                                   f"{method} not allowed on {path}; "
+                                   f"allowed: {', '.join(allowed)}")
+                raise ApiError(NOT_FOUND, f"no such route {path!r}",
+                               detail={"routes": sorted(
+                                   f"{m} {p}" for m, p in ROUTES)})
+            return 200, getattr(self, f"_handle_{handler}")(body)
+        except ApiError as exc:
+            return exc.http_status, exc.response.to_dict()
+        except Exception as exc:  # noqa: BLE001 - the service must not crash
+            err = error_from_exception(exc)
+            return err.http_status, err.response.to_dict()
+
+    @staticmethod
+    def _parse_body(body: bytes | str | None) -> Any:
+        if isinstance(body, bytes):
+            try:
+                body = body.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ApiError(INVALID_JSON,
+                               f"request body is not UTF-8: {exc}") from exc
+        if body is None or not body.strip():
+            raise ApiError(INVALID_JSON, "request body is empty; expected a "
+                                         "JSON object")
+        try:
+            return json.loads(body)
+        except ValueError as exc:
+            raise ApiError(INVALID_JSON,
+                           f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _handle_solve(self, body: bytes | str | None) -> dict[str, Any]:
+        request = SolveRequest.from_dict(self._parse_body(body))
+        return self.engine.solve(request).to_dict()
+
+    def _handle_solve_batch(self, body: bytes | str | None) -> dict[str, Any]:
+        request = SolveBatchRequest.from_dict(self._parse_body(body))
+        return self.engine.solve_batch(request).to_dict()
+
+    def _handle_simulate(self, body: bytes | str | None) -> dict[str, Any]:
+        request = SimulateRequest.from_dict(self._parse_body(body))
+        return self.engine.simulate(request).to_dict()
+
+    def _handle_campaign(self, body: bytes | str | None) -> dict[str, Any]:
+        request = CampaignRequest.from_dict(self._parse_body(body))
+        return self.engine.campaign(request).to_dict()
+
+    def _handle_solvers(self, body: bytes | str | None) -> dict[str, Any]:
+        return {"api_version": API_VERSION,
+                "solvers": self.engine.solver_table()}
+
+    def _handle_healthz(self, body: bytes | str | None) -> dict[str, Any]:
+        return self.engine.health()
+
+    def _handle_metrics(self, body: bytes | str | None) -> dict[str, Any]:
+        return self.engine.metrics()

@@ -12,7 +12,11 @@ Subcommands:
   campaign declaration (or the built-in every-scenario campaign), execute
   it in parallel, and report the cache hit count;
 * ``repro report [scenario]`` -- re-render the cached result records as
-  tables without recomputing anything.
+  tables without recomputing anything;
+* ``repro serve`` -- serve the versioned v1 JSON API over HTTP
+  (``POST /v1/solve``, ``/v1/solve-batch``, ``/v1/simulate``,
+  ``/v1/campaign``; ``GET /v1/solvers``, ``/healthz``, ``/metrics``) --
+  see :mod:`repro.api.server` and the README's "Serving" section.
 """
 
 from __future__ import annotations
@@ -221,6 +225,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if outcome.errors else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the CLI should not pay for (or require) the HTTP
+    # layer unless it is actually serving.  The server owns its own parser
+    # (--host/--port/--max-tasks/...), so the flags live in exactly one
+    # place; this subcommand just forwards everything after "serve".
+    from ..api.server import main
+
+    return main(args.server_args)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     wanted = _lookup_scenario(args.scenario).name if args.scenario else None
@@ -334,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
+    p_serve = sub.add_parser(
+        "serve", add_help=False,
+        help="serve the v1 JSON API over HTTP (stdlib server); "
+             "see `serve --help` for --host/--port/--max-tasks/...")
+    p_serve.add_argument("server_args", nargs=argparse.REMAINDER,
+                         help="arguments for the API server "
+                              "(repro.api.server)")
+    p_serve.set_defaults(func=cmd_serve)
+
     p_report = sub.add_parser(
         "report", help="render cached result records without recomputing")
     p_report.add_argument("scenario", nargs="?", default=None,
@@ -344,7 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    arglist = list(argv) if argv is not None else sys.argv[1:]
+    if arglist and arglist[0] == "serve":
+        # Forward to the server's own parser before argparse sees the rest:
+        # argparse.REMAINDER does not reliably capture leading optionals
+        # ("serve --port 0"), and this keeps every serve flag defined in
+        # exactly one place (repro.api.server.build_parser).
+        from ..api.server import main as serve_main
+
+        return serve_main(arglist[1:])
+    args = build_parser().parse_args(arglist)
     try:
         return args.func(args)
     except _UsageError as exc:

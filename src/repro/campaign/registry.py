@@ -60,6 +60,7 @@ def iter_scenarios() -> Iterator[ScenarioSpec]:
 
 
 def scenario_names() -> list[str]:
+    """Registered scenario names, in registration (E1..E13) order."""
     return list(_REGISTRY)
 
 

@@ -87,9 +87,14 @@ def _execute(scenario_name: str, params: dict) -> tuple[Any, float]:
 
     Module-level so it pickles into worker processes; the elapsed seconds
     are measured here so serial and parallel runs record the same quantity.
+    Execution goes through :func:`repro.api.run_scenario` -- the same
+    scenario front door the ``/v1/campaign`` endpoint uses -- so workers
+    and the service share one dispatch semantics.
     """
+    from ..api import run_scenario
+
     t0 = time.perf_counter()
-    result = get_scenario(scenario_name).runner(**params)
+    result = run_scenario(scenario_name, params)
     return result, time.perf_counter() - t0
 
 

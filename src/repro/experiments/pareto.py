@@ -22,13 +22,12 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from ..api import default_engine
 from ..core.problems import BiCritProblem, TriCritProblem
 from ..core.reliability import ReliabilityModel
 from ..continuous.exhaustive import best_known_tricrit
 from ..platform.mapping import Mapping
 from ..platform.platform import Platform
-from ..solvers import solve as registry_solve
-from ..solvers import solve_batch
 
 __all__ = [
     "ParetoPoint",
@@ -70,12 +69,14 @@ def energy_deadline_curve(mapping: Mapping, platform: Platform, *,
     ``slacks`` multiply the tightest feasible deadline (the makespan of the
     mapping at ``fmax``).  A custom ``solver`` taking a
     :class:`BiCritProblem` can be supplied to trace the curve under a
-    discrete model (e.g. the VDD-HOPPING LP); it defaults to the registry's
-    exact-first auto-dispatch, which also handles discrete platforms.  With
-    the default dispatch, ``engine="batch"`` (the default) solves the whole
-    deadline sweep through :func:`repro.solvers.solve_batch` as one grouped
-    array program; ``engine="scalar"`` keeps the per-point loop (a custom
-    ``solver`` callable always takes the per-point path).
+    discrete model (e.g. the VDD-HOPPING LP); it defaults to the shared
+    :func:`repro.api.default_engine`, whose exact-first auto-dispatch also
+    handles discrete platforms and serves repeated sweeps from its result
+    cache.  With the default dispatch, ``engine="batch"`` (the default)
+    solves the whole deadline sweep through the engine's batched submit
+    path (one grouped array program); ``engine="scalar"`` keeps the
+    per-point loop (a custom ``solver`` callable always takes the per-point
+    path).
     """
     if engine not in ("batch", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (batch or scalar)")
@@ -90,11 +91,12 @@ def energy_deadline_curve(mapping: Mapping, platform: Platform, *,
     deadlines = [slack * base for slack in slacks]
     problems = [BiCritProblem(mapping, platform, deadline)
                 for deadline in deadlines]
-    if solver is None and engine == "batch":
-        results: Sequence[object] = solve_batch(problems)
+    if solver is not None:
+        results: Sequence[object] = [solver(problem) for problem in problems]
+    elif engine == "batch":
+        results = [r for r, _ in default_engine().submit_batch(problems)]
     else:
-        solve = solver or registry_solve
-        results = [solve(problem) for problem in problems]
+        results = [default_engine().submit(problem)[0] for problem in problems]
 
     points = []
     for deadline, result in zip(deadlines, results):

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..api import default_engine
 from ..core.problem_io import load_problem_json
 from ..core.problems import BiCritProblem
 from ..core.rng import resolve_seed
@@ -31,8 +32,6 @@ from ..solvers import (
     batch_is_feasible,
     get_solver,
     iter_solvers,
-    solve,
-    solve_batch,
 )
 from .instances import (
     InstanceSpec,
@@ -191,16 +190,19 @@ def run_solver_ablation_experiment(
             entry["cells"].append((descriptor, row))
         entries.append(entry)
 
-    # Pass 2: run the admissible cells.
+    # Pass 2: run the admissible cells, through the shared API engine so
+    # repeated ablations of the same instances are served from its result
+    # cache (and grid groups go through the vectorized batch kernel).
+    api = default_engine()
     if engine == "scalar":
         for entry in entries:
             for descriptor, row in entry["cells"]:
-                result = solve(entry["prob"], solver=descriptor.name,
-                               context=entry["ctx"])
+                result, _ = api.submit(entry["prob"], solver=descriptor.name,
+                                       context=entry["ctx"])
                 row.update(status=result.status, energy=result.energy,
                            dispatched=False, reason=None)
             if entry["auto"]:
-                result = solve(entry["prob"], context=entry["ctx"])
+                result, _ = api.submit(entry["prob"], context=entry["ctx"])
                 entry["auto_result"] = result
     else:
         groups: dict[str, list[tuple[dict, dict]]] = {}
@@ -208,17 +210,17 @@ def run_solver_ablation_experiment(
             for descriptor, row in entry["cells"]:
                 groups.setdefault(descriptor.name, []).append((entry, row))
         for name_key, members in groups.items():
-            results = solve_batch([e["prob"] for e, _ in members],
-                                  solver=name_key,
-                                  contexts=[e["ctx"] for e, _ in members])
-            for (_, row), result in zip(members, results):
+            pairs = api.submit_batch([e["prob"] for e, _ in members],
+                                     solver=name_key,
+                                     contexts=[e["ctx"] for e, _ in members])
+            for (_, row), (result, _) in zip(members, pairs):
                 row.update(status=result.status, energy=result.energy,
                            dispatched=False, reason=None)
         auto_entries = [e for e in entries if e["auto"]]
         if auto_entries:
-            results = solve_batch([e["prob"] for e in auto_entries],
-                                  contexts=[e["ctx"] for e in auto_entries])
-            for entry, result in zip(auto_entries, results):
+            pairs = api.submit_batch([e["prob"] for e in auto_entries],
+                                     contexts=[e["ctx"] for e in auto_entries])
+            for entry, (result, _) in zip(auto_entries, pairs):
                 entry["auto_result"] = result
 
     # Pass 3: assemble rows and per-instance exact references.

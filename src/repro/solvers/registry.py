@@ -67,6 +67,7 @@ def iter_solvers() -> Iterator[Solver]:
 
 
 def solver_names() -> list[str]:
+    """Registered solver names, in dispatch-preference order."""
     return [s.name for s in iter_solvers()]
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import subprocess
+import sys
 
 import pytest
 
@@ -27,6 +29,9 @@ SUBPACKAGES = [
     "repro.simulation",
     "repro.baselines",
     "repro.experiments",
+    "repro.solvers",
+    "repro.campaign",
+    "repro.api",
 ]
 
 
@@ -52,6 +57,54 @@ class TestTopLevel:
             exported = getattr(module, "__all__", [])
             for symbol in exported:
                 assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_solver_errors_reexported_at_top_level(self):
+        # The API error mapping has one canonical import for both.
+        from repro.solvers import InadmissibleSolverError, NoAdmissibleSolverError
+
+        assert repro.InadmissibleSolverError is InadmissibleSolverError
+        assert repro.NoAdmissibleSolverError is NoAdmissibleSolverError
+
+    def test_attribution_names_source_paper(self):
+        assert "conf_ipps_Aupy12" in repro.__doc__
+        assert "IPDPSW" not in repro.__doc__
+
+
+class TestLazyImport:
+    """`import repro` is PEP 562 lazy: subpackages load on first touch."""
+
+    def test_bare_import_pulls_no_heavy_subpackages(self):
+        # A fresh interpreter, so this test is independent of import order
+        # in the test session.
+        code = (
+            "import sys\n"
+            "import repro\n"
+            "heavy = [m for m in ('repro.campaign', 'repro.experiments',\n"
+            "                     'repro.simulation', 'repro.solvers',\n"
+            "                     'repro.api', 'numpy')\n"
+            "         if m in sys.modules]\n"
+            "assert not heavy, f'eagerly imported: {heavy}'\n"
+            "assert repro.__version__\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_lazy_attribute_access_loads_subpackage(self):
+        code = (
+            "import sys\n"
+            "import repro\n"
+            "assert 'repro.campaign' not in sys.modules\n"
+            "assert repro.campaign.ResultCache is not None\n"
+            "assert 'repro.campaign' in sys.modules\n"
+            "assert repro.TaskGraph.__name__ == 'TaskGraph'\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_symbol  # noqa: B018
+
+    def test_dir_covers_all(self):
+        assert set(repro.__all__) <= set(dir(repro))
 
 
 class TestDocstrings:

@@ -1,0 +1,224 @@
+"""In-process smoke tests of the HTTP transport (``python -m repro serve``).
+
+A real :class:`~repro.api.server.ApiServer` is bound to an ephemeral port
+and driven over sockets with :mod:`http.client`, so the full stack --
+request parsing, routing, engine, JSON encoding, status codes -- is
+exercised exactly as an external client sees it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.api import Engine
+from repro.api.server import make_server
+from repro.core.problem_io import problem_to_dict
+
+
+@pytest.fixture(scope="module")
+def chain_payload():
+    from repro.core import BiCritProblem, ContinuousSpeeds
+    from repro.dag import generators
+    from repro.platform import Mapping, Platform
+
+    graph = generators.chain([2.0, 1.0, 3.0])
+    platform = Platform(1, ContinuousSpeeds(0.1, 1.0))
+    mapping = Mapping.single_processor(graph)
+    problem = BiCritProblem(mapping=mapping, platform=platform,
+                            deadline=1.5 * graph.total_weight())
+    return problem_to_dict(problem)
+
+
+@pytest.fixture(scope="module")
+def server():
+    # Tight limits so the size_limit paths are reachable with tiny payloads;
+    # the real defaults are exercised by tests/test_api.py.
+    srv = make_server(port=0, engine=Engine(max_tasks=16, max_batch=4))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def _request(server, method, path, body=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return response.status, payload
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, payload = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == "v1"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_solvers_table(self, server):
+        status, payload = _request(server, "GET", "/v1/solvers")
+        assert status == 200
+        names = [row["solver"] for row in payload["solvers"]]
+        assert "bicrit-closed-form" in names
+        assert all("exactness" in row for row in payload["solvers"])
+
+    def test_solve_and_cached_repeat(self, server, chain_payload):
+        status, first = _request(server, "POST", "/v1/solve",
+                                 {"problem": chain_payload})
+        assert status == 200
+        for field in ("api_version", "energy", "status", "solver", "feasible",
+                      "makespan", "speeds", "num_reexecuted", "dispatch",
+                      "cached", "elapsed_ms"):
+            assert field in first, f"missing response field {field}"
+        assert first["api_version"] == "v1"
+        assert first["feasible"] is True
+        assert not first["cached"]
+        status, second = _request(server, "POST", "/v1/solve",
+                                  {"problem": chain_payload})
+        assert status == 200
+        assert second["cached"] is True
+        assert second["energy"] == first["energy"]
+
+    def test_solve_batch(self, server, chain_payload):
+        status, payload = _request(server, "POST", "/v1/solve-batch",
+                                   {"problems": [chain_payload, chain_payload]})
+        assert status == 200
+        assert payload["count"] == 2
+        assert len(payload["results"]) == 2
+        energies = {r["energy"] for r in payload["results"]}
+        assert len(energies) == 1      # identical instances, identical answers
+
+    def test_simulate(self, server, chain_payload):
+        status, payload = _request(server, "POST", "/v1/simulate",
+                                   {"problem": chain_payload, "trials": 100,
+                                    "seed": 5})
+        assert status == 200
+        assert payload["trials"] == 100
+        assert 0.0 <= payload["success_rate"] <= 1.0
+        assert payload["solve"]["feasible"] is True
+
+    def test_campaign(self, server, tmp_path):
+        status, payload = _request(
+            server, "POST", "/v1/campaign",
+            {"scenario": "e1-fork-closed-form", "smoke": True,
+             "cache_dir": str(tmp_path / "cache")})
+        assert status == 200
+        assert payload["scenario"] == "e1-fork-closed-form"
+        assert payload["result"]
+
+    def test_metrics_after_traffic(self, server, chain_payload):
+        _request(server, "POST", "/v1/solve", {"problem": chain_payload})
+        status, payload = _request(server, "GET", "/metrics")
+        assert status == 200
+        assert payload["requests"]["POST /v1/solve"] >= 1
+        assert payload["cache"]["hits"] >= 1
+        lat = payload["latency_ms"]["POST /v1/solve"]
+        assert lat["count"] >= 1 and lat["p99_ms"] >= lat["p50_ms"] >= 0
+
+
+class TestErrorPaths:
+    def test_malformed_json(self, server):
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("POST", "/v1/solve", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+    def test_empty_body(self, server):
+        status, payload = _request(server, "POST", "/v1/solve")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+    def test_unknown_route(self, server):
+        status, payload = _request(server, "GET", "/v2/solve")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        assert any("/v1/solve" in r for r in payload["error"]["detail"]["routes"])
+
+    def test_wrong_method(self, server):
+        status, payload = _request(server, "GET", "/v1/solve")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_unknown_solver(self, server, chain_payload):
+        status, payload = _request(server, "POST", "/v1/solve",
+                                   {"problem": chain_payload, "solver": "nope"})
+        assert status == 400
+        assert payload["error"]["code"] == "unknown_solver"
+
+    def test_invalid_problem(self, server):
+        status, payload = _request(server, "POST", "/v1/solve",
+                                   {"problem": {"kind": "bicrit"}})
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_problem"
+
+    def test_invalid_request_shape(self, server, chain_payload):
+        status, payload = _request(server, "POST", "/v1/solve",
+                                   {"problem": chain_payload, "bogus": 1})
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+
+    def test_batch_size_limit(self, server, chain_payload):
+        status, payload = _request(server, "POST", "/v1/solve-batch",
+                                   {"problems": [chain_payload] * 5})
+        assert status == 413
+        assert payload["error"]["code"] == "size_limit"
+
+    def test_oversize_instance(self, server):
+        from repro.core import BiCritProblem, ContinuousSpeeds
+        from repro.dag import generators
+        from repro.platform import Mapping, Platform
+
+        graph = generators.chain([1.0] * 17)    # engine capped at 16 tasks
+        problem = BiCritProblem(
+            mapping=Mapping.single_processor(graph),
+            platform=Platform(1, ContinuousSpeeds(0.1, 1.0)),
+            deadline=2.0 * graph.total_weight())
+        status, payload = _request(server, "POST", "/v1/solve",
+                                   {"problem": problem_to_dict(problem)})
+        assert status == 413
+        assert payload["error"]["code"] == "size_limit"
+        assert payload["error"]["detail"]["max_tasks"] == 16
+
+
+class TestConcurrency:
+    def test_parallel_requests_share_one_engine(self, server, chain_payload):
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def post():
+            out = _request(server, "POST", "/v1/solve",
+                           {"problem": chain_payload})
+            with lock:
+                results.append(out)
+
+        threads = [threading.Thread(target=post) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 8
+        energies = {payload["energy"] for status, payload in results}
+        assert all(status == 200 for status, _ in results)
+        assert len(energies) == 1
