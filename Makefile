@@ -6,9 +6,10 @@
 #   make smoke          - reduced-size smoke of the simulation + batch-solver perf paths
 #   make campaign-smoke - every E1-E13 scenario through the campaign runner
 #   make serve-smoke    - boot `python -m repro serve`, POST a solve + a batch, assert 200/schema
+#   make distributed-smoke - multi-worker coordinator + chaos tests under a hard timeout
 #   make refresh-golden - intentionally regenerate tests/golden/*.json snapshots
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
-#   make check          - lint + coverage + smoke + campaign-smoke + serve-smoke: what CI runs on every PR
+#   make check          - lint + coverage + smoke + campaign-smoke + serve-smoke + distributed-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -18,7 +19,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # generics, redundant open modes, collections.abc imports.
 RUFF_RULES ?= E9,F63,F7,F82,B006,B008,B011,UP006,UP015,UP035
 
-.PHONY: test lint smoke campaign-smoke serve-smoke bench check coverage refresh-golden
+.PHONY: test lint smoke campaign-smoke serve-smoke distributed-smoke bench check coverage refresh-golden
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,9 +63,16 @@ campaign-smoke:
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 
+# Multi-process fault-tolerance gate: the chaos proxy tests plus the
+# SIGKILL-a-worker-mid-sweep integration test.  The hard `timeout` wrapper
+# turns any coordinator deadlock or orphaned worker into a loud failure
+# instead of a hung CI job.
+distributed-smoke:
+	timeout 300 $(PYTHON) -m pytest tests/test_distributed.py -q
+
 # bench_*.py does not match pytest's default test_*.py discovery glob, so the
 # files are passed explicitly (shell glob) rather than as a directory.
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: lint coverage smoke campaign-smoke serve-smoke
+check: lint coverage smoke campaign-smoke serve-smoke distributed-smoke

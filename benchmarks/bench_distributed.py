@@ -1,0 +1,115 @@
+"""Wall-clock harness for the fault-tolerant distributed coordinator.
+
+Runs one fixed E1 instance grid three ways -- serially in-process, across
+two spawned ``repro serve`` workers, and across two workers with one
+SIGKILLed after the first completion -- and records wall times plus the
+coordinator's retry/eviction counters to ``BENCH_campaign_distributed.json``
+at the repository root.  Also asserts the subsystem's acceptance
+properties: every mode produces byte-identical result payloads, and the
+worker-loss run completes with zero errors.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_distributed.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.campaign import ResultCache, run_campaign
+from repro.campaign.distributed import (
+    RetryPolicy,
+    run_distributed_campaign,
+    spawn_local_workers,
+    stop_workers,
+)
+from repro.campaign.registry import get_scenario
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_campaign_distributed.json"
+
+#: Quick backoff so the kill scenario's recovery is measured, not slept.
+POLICY = RetryPolicy(max_attempts=5, base_delay=0.02, max_delay=0.2,
+                     jitter=0.25, request_timeout=60.0, probe_interval=0.1)
+
+
+def _grid(n=12):
+    spec = get_scenario("e1-fork-closed-form")
+    return [spec.instance({"sizes": (k,)}, smoke=True)
+            for k in range(2, 2 + n)]
+
+
+def _payloads(outcome):
+    return [json.dumps(r.record["result"]).encode() for r in outcome.results]
+
+
+def test_distributed_campaign_serial_vs_workers_vs_worker_loss(tmp_path):
+    grid = _grid()
+    n = len(grid)
+
+    t0 = time.perf_counter()
+    serial = run_campaign(grid, jobs=1, cache=ResultCache(tmp_path / "serial"))
+    serial_seconds = time.perf_counter() - t0
+    assert serial.errors == 0
+    reference = _payloads(serial)
+
+    # -- two healthy workers -------------------------------------------
+    workers = spawn_local_workers(2)
+    try:
+        t0 = time.perf_counter()
+        healthy = run_distributed_campaign(
+            grid, workers=[w.address for w in workers], policy=POLICY,
+            cache=ResultCache(tmp_path / "workers"))
+        healthy_seconds = time.perf_counter() - t0
+    finally:
+        stop_workers(workers)
+    assert healthy.errors == 0
+    assert _payloads(healthy) == reference
+
+    # -- two workers, one SIGKILLed after the first completion ---------
+    workers = spawn_local_workers(2)
+    by_address = {w.address: w for w in workers}
+    killed = []
+
+    def kill_first_responder(line):
+        if killed or " on 127.0.0.1:" not in line:
+            return
+        address = line.rsplit(" on ", 1)[1].split(",")[0].strip()
+        if address in by_address:
+            by_address[address].kill()
+            killed.append(address)
+
+    try:
+        t0 = time.perf_counter()
+        lossy = run_distributed_campaign(
+            grid, workers=[w.address for w in workers], policy=POLICY,
+            cache=ResultCache(tmp_path / "lossy"),
+            progress=kill_first_responder)
+        lossy_seconds = time.perf_counter() - t0
+    finally:
+        stop_workers(workers)
+    assert lossy.errors == 0, "sweep must survive the worker loss"
+    assert _payloads(lossy) == reference
+
+    record = {
+        "benchmark": f"distributed campaign, {n} e1 smoke instances",
+        "serial_seconds": round(serial_seconds, 3),
+        "two_workers_seconds": round(healthy_seconds, 3),
+        "two_workers_one_killed_seconds": round(lossy_seconds, 3),
+        "healthy_retries": healthy.retries,
+        "healthy_evictions": healthy.evictions,
+        "lossy_retries": lossy.retries,
+        "lossy_evictions": lossy.evictions,
+        "lossy_duplicate_completions": lossy.duplicate_completions,
+        "killed_worker": killed[0] if killed else None,
+        "instances": n,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\ndistributed campaign ({n} instances): serial "
+          f"{serial_seconds:.2f}s, 2 workers {healthy_seconds:.2f}s, "
+          f"2 workers -1 killed {lossy_seconds:.2f}s "
+          f"({lossy.retries} retries, {lossy.evictions} evictions); "
+          f"recorded to {BENCH_PATH.name}")

@@ -440,7 +440,8 @@ class Engine:
         if not outcome.ok:
             raise ApiError(INTERNAL_ERROR,
                            f"scenario {spec.name!r} failed: {outcome.error}",
-                           detail={"scenario": spec.name})
+                           detail={"scenario": spec.name,
+                                   "failure": outcome.failure or {}})
         return CampaignResponse(
             scenario=spec.name, key=outcome.key, cached=outcome.cached,
             elapsed_seconds=outcome.elapsed_seconds,

@@ -20,13 +20,22 @@ from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .engine import Engine
+from .errors import SIZE_LIMIT, ErrorResponse
 from .service import Service
 
 __all__ = ["ApiServer", "make_server", "serve", "main",
-           "DEFAULT_HOST", "DEFAULT_PORT"]
+           "DEFAULT_HOST", "DEFAULT_PORT",
+           "DEFAULT_MAX_BODY_BYTES", "DEFAULT_HANDLER_TIMEOUT"]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8765
+#: Request bodies larger than this are rejected with ``size_limit`` (413)
+#: without ever being read into memory.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Per-connection socket timeout: a stalled client (half-sent request,
+#: unread response) releases its handler thread after this many seconds
+#: instead of pinning it forever.
+DEFAULT_HANDLER_TIMEOUT = 60.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -37,15 +46,36 @@ class _Handler(BaseHTTPRequestHandler):
     # per keep-alive request on loopback.
     disable_nagle_algorithm = True
 
+    def setup(self) -> None:
+        # socketserver applies ``self.timeout`` to the connection in
+        # ``setup()``; ``handle_one_request`` already treats a read timeout
+        # as close-connection, so a stalled client cannot pin this thread.
+        self.timeout = self.server.handler_timeout
+        super().setup()
+
     # One code path for every method: the service does the routing.
     def _dispatch(self) -> None:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             length = 0
+        limit = self.server.max_body_bytes
+        if limit is not None and length > limit:
+            # Reject before reading: an oversized (or lying) Content-Length
+            # must not make the server buffer the payload first.
+            error = ErrorResponse(
+                SIZE_LIMIT,
+                f"request body is {length} bytes, server limit is {limit}",
+                detail={"content_length": length, "max_body_bytes": limit})
+            self._respond(error.http_status, error.to_dict())
+            self.close_connection = True
+            return
         body = self.rfile.read(length) if length > 0 else b""
         status, payload = self.server.service.handle(self.command, self.path,
                                                      body)
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -67,27 +97,40 @@ class ApiServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int], service: Service, *,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
+                 handler_timeout: float | None = DEFAULT_HANDLER_TIMEOUT) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
+        self.handler_timeout = handler_timeout
 
 
 def make_server(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *,
                 engine: Engine | None = None,
-                verbose: bool = False) -> ApiServer:
+                verbose: bool = False,
+                max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
+                handler_timeout: float | None = DEFAULT_HANDLER_TIMEOUT) -> ApiServer:
     """Build (and bind) the API server without starting its loop.
 
     ``port=0`` binds an ephemeral port; the chosen one is in
-    ``server.server_address[1]``.
+    ``server.server_address[1]``.  ``max_body_bytes`` / ``handler_timeout``
+    are the request-hardening knobs (None disables either).
     """
-    return ApiServer((host, port), Service(engine), verbose=verbose)
+    return ApiServer((host, port), Service(engine), verbose=verbose,
+                     max_body_bytes=max_body_bytes,
+                     handler_timeout=handler_timeout)
 
 
 def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *,
-          engine: Engine | None = None, verbose: bool = False) -> int:
+          engine: Engine | None = None, verbose: bool = False,
+          max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
+          handler_timeout: float | None = DEFAULT_HANDLER_TIMEOUT) -> int:
     """Run the server until interrupted (the ``python -m repro serve`` loop)."""
-    server = make_server(host, port, engine=engine, verbose=verbose)
+    server = make_server(host, port, engine=engine, verbose=verbose,
+                         max_body_bytes=max_body_bytes,
+                         handler_timeout=handler_timeout)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro api v1 listening on http://{bound_host}:{bound_port} "
           f"(POST /v1/solve, /v1/solve-batch, /v1/simulate, /v1/campaign; "
@@ -116,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-request instance cap for /v1/solve-batch")
     parser.add_argument("--cache-size", type=int, default=None,
                         help="result-cache capacity (LRU entries)")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=DEFAULT_MAX_BODY_BYTES,
+                        help="reject request bodies larger than this with "
+                             f"413 size_limit (default {DEFAULT_MAX_BODY_BYTES}; "
+                             "0 disables the cap)")
+    parser.add_argument("--handler-timeout", type=float,
+                        default=DEFAULT_HANDLER_TIMEOUT,
+                        help="per-connection socket timeout in seconds so a "
+                             "stalled client frees its thread (default "
+                             f"{DEFAULT_HANDLER_TIMEOUT:.0f}; 0 disables)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request line")
     return parser
@@ -131,4 +184,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.cache_size is not None:
         overrides["cache_size"] = args.cache_size
     engine = Engine(**overrides) if overrides else None
-    return serve(args.host, args.port, engine=engine, verbose=args.verbose)
+    return serve(args.host, args.port, engine=engine, verbose=args.verbose,
+                 max_body_bytes=args.max_body_bytes or None,
+                 handler_timeout=args.handler_timeout or None)

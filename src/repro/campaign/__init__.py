@@ -10,14 +10,31 @@ scale:
   runnable instances with deterministic child seeds;
 * :mod:`repro.campaign.runner` -- process-parallel execution with a serial
   fallback and per-instance progress;
+* :mod:`repro.campaign.distributed` -- fault-tolerant multi-worker execution
+  over the v1 HTTP API (retry/backoff, worker eviction/readmission,
+  in-process degradation, resumable via the cache);
 * :mod:`repro.campaign.cache` -- content-addressed JSON result cache under
   ``.repro-cache/``;
 * :mod:`repro.campaign.cli` -- the ``python -m repro`` command line.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, canonicalize, instance_key
+from .distributed import (
+    DistributedCampaignResult,
+    RetryPolicy,
+    WorkerClient,
+    WorkerError,
+    run_distributed_campaign,
+    spawn_local_workers,
+)
 from .registry import get_scenario, iter_scenarios, register, scenario_names
-from .runner import CampaignResult, InstanceResult, resolve_jobs, run_campaign
+from .runner import (
+    CampaignResult,
+    InstanceResult,
+    failure_record,
+    resolve_jobs,
+    run_campaign,
+)
 from .spec import ScenarioInstance, ScenarioSpec
 from .sweep import (
     all_scenarios_campaign,
@@ -47,4 +64,11 @@ __all__ = [
     "resolve_jobs",
     "CampaignResult",
     "InstanceResult",
+    "failure_record",
+    "run_distributed_campaign",
+    "spawn_local_workers",
+    "DistributedCampaignResult",
+    "RetryPolicy",
+    "WorkerClient",
+    "WorkerError",
 ]

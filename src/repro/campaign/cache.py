@@ -91,16 +91,37 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """Return the cached record for ``key``, or None on a miss.
 
-        Unreadable/corrupt entries count as misses (the record will simply
-        be recomputed and rewritten).
+        Corrupt entries (invalid JSON / undecodable bytes) are quarantined
+        -- moved aside to ``<key>.json.corrupt`` -- so they count as a miss
+        exactly once and the recomputed record is not shadowed by a broken
+        file on every future read.  Other I/O errors are plain misses.
         """
         path = self.path_for(key)
         try:
             with path.open(encoding="utf-8") as fh:
                 return json.load(fh)
+        except FileNotFoundError:
+            return None
         # ValueError covers JSONDecodeError and the UnicodeDecodeError a
         # torn write can leave behind.
-        except (FileNotFoundError, ValueError, OSError):
+        except ValueError:
+            self._quarantine(path)
+            return None
+        except OSError:
+            return None
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt entry aside (best effort); returns its new path.
+
+        The quarantined name does not match the ``*.json`` glob, so the
+        entry disappears from ``records()`` / ``len()`` while staying on
+        disk for post-mortem inspection.
+        """
+        target = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            path.replace(target)
+            return target
+        except OSError:
             return None
 
     def records(self) -> Iterator[dict]:
@@ -111,7 +132,10 @@ class ResultCache:
             try:
                 with path.open(encoding="utf-8") as fh:
                     yield json.load(fh)
-            except (ValueError, OSError):
+            except ValueError:
+                self._quarantine(path)
+                continue
+            except OSError:
                 continue
 
     # -- write ---------------------------------------------------------

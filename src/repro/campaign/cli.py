@@ -206,13 +206,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # Missing/malformed campaign file, unknown scenario or entry key.
         # KeyError str()-quotes its message, so unwrap args[0] for it only.
         raise _UsageError(exc.args[0] if isinstance(exc, KeyError) else exc) from exc
-    outcome = run_campaign(
-        instances, name=campaign["name"],
-        jobs=args.jobs, cache=ResultCache(args.cache_dir),
-        use_cache=not args.no_cache, refresh=args.refresh,
-        engine=args.engine,
-        progress=_print_progress,
-    )
+    if args.workers or args.spawn:
+        outcome = _run_distributed(args, campaign["name"], instances)
+    else:
+        outcome = run_campaign(
+            instances, name=campaign["name"],
+            jobs=args.jobs, cache=ResultCache(args.cache_dir),
+            use_cache=not args.no_cache, refresh=args.refresh,
+            engine=args.engine, max_failures=args.max_failures,
+            progress=_print_progress,
+        )
     print(outcome.summary())
     if args.show_tables:
         for result in outcome.results:
@@ -222,7 +225,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 print(render_result(result.record["result"],
                                     title=f"{spec.experiment} {result.instance.describe()}",
                                     columns=spec.columns))
-    return 1 if outcome.errors else 0
+    return 1 if outcome.errors or outcome.aborted else 0
+
+
+def _run_distributed(args: argparse.Namespace, name: str, instances):
+    # Deferred import, mirroring cmd_serve: plain local campaigns should not
+    # pay for the HTTP/coordination layer.
+    from .distributed import (
+        parse_workers,
+        run_distributed_campaign,
+        spawn_local_workers,
+        stop_workers,
+    )
+
+    try:
+        addresses = parse_workers(args.workers) if args.workers else []
+    except ValueError as exc:
+        raise _UsageError(exc) from exc
+    spawned = []
+    try:
+        if args.spawn:
+            try:
+                spawned = spawn_local_workers(args.spawn)
+            except (OSError, RuntimeError) as exc:
+                raise _UsageError(f"cannot spawn local workers: {exc}") from exc
+            addresses = addresses + [worker.address for worker in spawned]
+            print(f"spawned {len(spawned)} local workers: "
+                  f"{', '.join(w.address for w in spawned)}", flush=True)
+        return run_distributed_campaign(
+            instances, workers=addresses, name=name,
+            cache=ResultCache(args.cache_dir),
+            use_cache=not args.no_cache, refresh=args.refresh,
+            max_failures=args.max_failures,
+            progress=_print_progress,
+        )
+    finally:
+        stop_workers(spawned)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -345,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="re-execute every instance, then re-cache")
     p_campaign.add_argument("--show-tables", action="store_true",
                             help="print every instance's table after the summary")
+    p_campaign.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                            help="distribute instances across running "
+                                 "`repro serve` workers (fault-tolerant "
+                                 "coordinator with retry/backoff, worker "
+                                 "eviction and in-process fallback)")
+    p_campaign.add_argument("--spawn", type=int, default=None, metavar="N",
+                            help="fork N local serve workers on ephemeral "
+                                 "ports for this run (combines with --workers)")
+    p_campaign.add_argument("--max-failures", type=int, default=None,
+                            metavar="N",
+                            help="abort the campaign once more than N "
+                                 "instances have failed (0 aborts on the "
+                                 "first failure)")
     _add_cache_flags(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 

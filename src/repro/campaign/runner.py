@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback as _traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 from typing import Any
@@ -25,7 +31,29 @@ from .cache import ResultCache, instance_key, make_record
 from .registry import get_scenario
 from .spec import ScenarioInstance
 
-__all__ = ["InstanceResult", "CampaignResult", "resolve_jobs", "run_campaign"]
+__all__ = ["InstanceResult", "CampaignResult", "failure_record",
+           "resolve_jobs", "run_campaign"]
+
+
+def failure_record(error_type: str, message: str, *,
+                   traceback: str = "", attempts: int = 1) -> dict:
+    """Structured description of one failed instance execution.
+
+    This is the payload stored on :attr:`InstanceResult.failure` (and in
+    campaign result summaries): machine-readable error type, human message,
+    the traceback when one was captured locally, and how many execution
+    attempts were made (always 1 for the in-process runner; the distributed
+    coordinator counts its retries here).
+    """
+    return {"error_type": error_type, "message": message,
+            "traceback": traceback, "attempts": attempts}
+
+
+def failure_from_exception(exc: BaseException, *, attempts: int = 1) -> dict:
+    """A :func:`failure_record` for a caught exception, traceback included."""
+    tb = "".join(_traceback.format_exception(type(exc), exc, exc.__traceback__))
+    return failure_record(type(exc).__name__, str(exc), traceback=tb,
+                          attempts=attempts)
 
 
 @dataclass
@@ -37,7 +65,13 @@ class InstanceResult:
     record: dict | None         # the cache record (None only on error)
     cached: bool                # served from the result cache
     elapsed_seconds: float      # 0.0 for cache hits
-    error: str | None = None
+    error: str | None = None    # one-line summary ("Type: message")
+    #: Structured failure info (:func:`failure_record`) when ``error`` is set.
+    failure: dict | None = None
+    #: Execution attempts made (retries included; 1 for local execution).
+    attempts: int = 1
+    #: Which worker produced the result (distributed runs; None locally).
+    worker: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -52,6 +86,10 @@ class CampaignResult:
     results: list[InstanceResult] = field(default_factory=list)
     jobs: int = 1
     wall_seconds: float = 0.0
+    #: True when a ``max_failures`` threshold stopped the sweep early.
+    aborted: bool = False
+    #: Instances never executed because the sweep aborted first.
+    skipped: int = 0
 
     @property
     def hits(self) -> int:
@@ -65,12 +103,21 @@ class CampaignResult:
     def errors(self) -> int:
         return sum(1 for r in self.results if not r.ok)
 
+    @property
+    def failures(self) -> list[InstanceResult]:
+        """The failed instance results (structured records on ``.failure``)."""
+        return [r for r in self.results if not r.ok]
+
     def summary(self) -> str:
         n = len(self.results)
+        tail = ""
+        if self.aborted:
+            tail = (f" [ABORTED after {self.errors} failures; "
+                    f"{self.skipped} instances skipped]")
         return (f"campaign {self.name!r}: {n} instances, "
                 f"{self.hits}/{n} cache hits, {self.misses} executed, "
                 f"{self.errors} errors, {self.wall_seconds:.2f}s wall "
-                f"(jobs={self.jobs})")
+                f"(jobs={self.jobs}){tail}")
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -105,12 +152,17 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
                  use_cache: bool = True,
                  refresh: bool = False,
                  engine: str | None = None,
+                 max_failures: int | None = None,
                  progress: Callable[[str], None] | None = None) -> CampaignResult:
     """Execute ``instances``, serving repeats from the result cache.
 
     ``refresh`` forces re-execution but still writes the fresh records back;
     ``use_cache=False`` bypasses the cache entirely (no reads, no writes).
     ``progress`` receives one human-readable line per completed instance.
+    ``max_failures`` aborts the sweep as soon as *more than* that many
+    instances have failed (0 aborts on the first failure; None, the default,
+    never aborts) -- the aggregate result then carries ``aborted=True`` and
+    counts the never-executed instances in ``skipped``.
 
     ``engine`` (``"batch"`` or ``"scalar"``) overrides the solver-evaluation
     engine of every scenario that exposes an ``engine`` parameter (E11/E12's
@@ -141,6 +193,7 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
 
     results: list[InstanceResult | None] = [None] * total
     pending: list[tuple[int, ScenarioInstance, str]] = []
+    failure_count = 0
 
     for index, instance in enumerate(instances):
         spec = get_scenario(instance.scenario)
@@ -153,7 +206,9 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
             results[index] = InstanceResult(instance=instance, key="",
                                             record=None, cached=False,
                                             elapsed_seconds=0.0,
-                                            error=f"TypeError: {exc}")
+                                            error=f"TypeError: {exc}",
+                                            failure=failure_from_exception(exc))
+            failure_count += 1
             emit(f"[{index + 1}/{total}] {instance.describe()}: "
                  f"ERROR TypeError: {exc}")
             continue
@@ -167,8 +222,9 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
             pending.append((index, instance, key))
 
     def finish(index: int, instance: ScenarioInstance, key: str,
-               result: Any, elapsed: float, error: str | None) -> None:
-        if error is None:
+               result: Any, elapsed: float, failure: dict | None) -> None:
+        nonlocal failure_count
+        if failure is None:
             spec = get_scenario(instance.scenario)
             try:
                 record = make_record(key=key, scenario=instance.scenario,
@@ -176,8 +232,8 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
                                      elapsed_seconds=elapsed,
                                      cache_version=spec.cache_version)
             except TypeError as exc:    # non-JSON result value
-                error = f"TypeError: {exc}"
-        if error is None:
+                failure = failure_from_exception(exc)
+        if failure is None:
             if use_cache:
                 cache.put(key, record)
             results[index] = InstanceResult(instance=instance, key=key,
@@ -186,11 +242,19 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
             emit(f"[{index + 1}/{total}] {instance.describe()}: "
                  f"ran in {elapsed:.2f}s")
         else:
+            error = f"{failure['error_type']}: {failure['message']}"
             results[index] = InstanceResult(instance=instance, key=key,
                                             record=None, cached=False,
-                                            elapsed_seconds=elapsed, error=error)
+                                            elapsed_seconds=elapsed,
+                                            error=error, failure=failure,
+                                            attempts=failure.get("attempts", 1))
+            failure_count += 1
             emit(f"[{index + 1}/{total}] {instance.describe()}: ERROR {error}")
 
+    def should_abort() -> bool:
+        return max_failures is not None and failure_count > max_failures
+
+    aborted = False
     if pending and engine == "batch":
         # The batched in-process path: scenarios whose solver grids run
         # through the vectorized kernel finish faster inline than the
@@ -199,41 +263,49 @@ def run_campaign(instances: Sequence[ScenarioInstance], *,
         inline = [(i, inst, key) for i, inst, key in pending
                   if get_scenario(inst.scenario).batchable]
         if inline:
-            _run_serial(inline, finish)
+            aborted = _run_serial(inline, finish, should_abort)
             pending = [(i, inst, key) for i, inst, key in pending
                        if results[i] is None]
 
-    if pending:
+    if pending and not aborted:
         if jobs == 1:
-            _run_serial(pending, finish)
+            aborted = _run_serial(pending, finish, should_abort)
         else:
             try:
-                _run_parallel(pending, finish, jobs)
+                aborted = _run_parallel(pending, finish, should_abort, jobs)
             except (OSError, PermissionError) as exc:
                 # Restricted environments (no fork/semaphores) fall back to
                 # the serial path rather than failing the campaign.
                 emit(f"process pool unavailable ({exc}); running serially")
                 remaining = [(i, inst, key) for i, inst, key in pending
                              if results[i] is None]
-                _run_serial(remaining, finish)
+                aborted = _run_serial(remaining, finish, should_abort)
 
     final = [r for r in results if r is not None]
     return CampaignResult(name=name, results=final, jobs=jobs,
-                          wall_seconds=time.perf_counter() - started)
+                          wall_seconds=time.perf_counter() - started,
+                          aborted=aborted, skipped=total - len(final))
 
 
-def _run_serial(pending, finish) -> None:
+def _run_serial(pending, finish, should_abort) -> bool:
+    """Execute ``pending`` in order; returns True when aborted early."""
     for index, instance, key in pending:
+        if should_abort():
+            return True
         try:
             result, elapsed = _execute(instance.scenario, dict(instance.params))
         except Exception as exc:  # noqa: BLE001 - reported per instance
             finish(index, instance, key, None, 0.0,
-                   f"{type(exc).__name__}: {exc}")
+                   failure_from_exception(exc))
         else:
             finish(index, instance, key, result, elapsed, None)
+    # The threshold was never crossed with work left to skip.
+    return False
 
 
-def _run_parallel(pending, finish, jobs: int) -> None:
+def _run_parallel(pending, finish, should_abort, jobs: int) -> bool:
+    """Execute ``pending`` on a process pool; returns True when aborted."""
+    aborted = False
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         submitted = {}
         for index, instance, key in pending:
@@ -247,8 +319,15 @@ def _run_parallel(pending, finish, jobs: int) -> None:
                 index, instance, key = submitted[future]
                 try:
                     result, elapsed = future.result()
+                except CancelledError:
+                    continue            # aborted before it started: skipped
                 except Exception as exc:  # noqa: BLE001 - reported per instance
                     finish(index, instance, key, None, 0.0,
-                           f"{type(exc).__name__}: {exc}")
+                           failure_from_exception(exc))
                 else:
                     finish(index, instance, key, result, elapsed, None)
+            if should_abort() and not aborted:
+                aborted = True
+                for future in outstanding:
+                    future.cancel()
+    return aborted

@@ -1,0 +1,187 @@
+"""Fault-injection harness for the distributed-campaign tests.
+
+:class:`ChaosProxy` is a tiny threaded TCP proxy that sits between a
+coordinator and one ``repro serve`` worker and misbehaves on demand:
+
+* ``kill``    -- wait for request bytes, then slam the connection shut with
+  an RST (a worker dying mid-request);
+* ``delay``   -- stall for a configurable time before even connecting
+  upstream (a hung worker; trips the client's lease timeout);
+* ``garbage`` -- answer the request with bytes that are not HTTP at all
+  (a corrupted reply);
+* ``error``   -- answer with a synthetic ``HTTP/1.1 500`` (a 5xx burst
+  without touching the worker).
+
+Faults are queued with :meth:`ChaosProxy.fail_next` and consumed one per
+connection in FIFO order; connections with no queued fault are proxied
+byte-for-byte in both directions.  The proxy binds an ephemeral port, so
+tests point a :class:`repro.campaign.distributed.WorkerClient` at
+``proxy.port`` while the real worker listens elsewhere.  Use it as a
+context manager to guarantee the sockets die with the test.
+"""
+
+from __future__ import annotations
+
+import collections
+import select
+import socket
+import struct
+import threading
+import time
+
+__all__ = ["ChaosProxy", "MODES"]
+
+MODES = ("pass", "kill", "delay", "garbage", "error")
+
+_GARBAGE = b"\x00\xfe\xfanot-http-at-all\r\n\r\n\x13\x37"
+_ERROR_BODY = b'{"error": {"code": "chaos", "message": "injected 5xx"}}'
+_ERROR_REPLY = (b"HTTP/1.1 500 Internal Server Error\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(_ERROR_BODY)).encode() +
+                b"\r\nConnection: close\r\n\r\n" + _ERROR_BODY)
+
+
+class ChaosProxy:
+    """A misbehaving TCP proxy in front of one upstream server."""
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 host: str = "127.0.0.1") -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.1)
+        self.host = host
+        self.port = self._listener.getsockname()[1]
+        self._faults: collections.deque[tuple[str, float]] = collections.deque()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.connections = 0
+        self.injected = collections.Counter()
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               name="chaos-accept", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- fault scheduling -----------------------------------------------
+    def fail_next(self, mode: str, count: int = 1, *,
+                  delay: float = 1.0) -> None:
+        """Queue ``count`` faults of ``mode`` for the next connections."""
+        if mode not in MODES:
+            raise ValueError(f"unknown chaos mode {mode!r}; pick from {MODES}")
+        with self._lock:
+            for _ in range(count):
+                self._faults.append((mode, delay))
+
+    def pending_faults(self) -> int:
+        with self._lock:
+            return len(self._faults)
+
+    def _next_fault(self) -> tuple[str, float]:
+        with self._lock:
+            return self._faults.popleft() if self._faults else ("pass", 0.0)
+
+    # -- proxy machinery ------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(target=self._handle, args=(client,),
+                                      name="chaos-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _handle(self, client: socket.socket) -> None:
+        mode, delay = self._next_fault()
+        self.connections += 1
+        if mode != "pass":
+            self.injected[mode] += 1
+        try:
+            if mode == "kill":
+                self._await_request_bytes(client)
+                # SO_LINGER(on, 0) turns close() into an RST: the client sees
+                # a reset mid-request, exactly like a SIGKILLed worker.
+                client.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                  struct.pack("ii", 1, 0))
+                return
+            if mode == "garbage":
+                self._await_request_bytes(client)
+                client.sendall(_GARBAGE)
+                return
+            if mode == "error":
+                self._await_request_bytes(client)
+                client.sendall(_ERROR_REPLY)
+                return
+            if mode == "delay":
+                # Stall without answering; the client's request timeout
+                # fires first in any sane test configuration.
+                deadline = time.monotonic() + delay
+                while not self._stop.is_set() \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                return
+            self._pump(client)
+        except OSError:
+            pass
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _await_request_bytes(self, client: socket.socket,
+                             timeout: float = 5.0) -> bytes:
+        """Block until the client sent something, so the fault lands
+        *mid-request* rather than on an idle connection."""
+        client.settimeout(timeout)
+        try:
+            return client.recv(65536)
+        except (socket.timeout, OSError):
+            return b""
+
+    def _pump(self, client: socket.socket) -> None:
+        upstream = socket.create_connection(self.upstream, timeout=5.0)
+        try:
+            pair = {client: upstream, upstream: client}
+            for sock in pair:
+                sock.setblocking(False)
+            while not self._stop.is_set():
+                readable, _, _ = select.select(list(pair), [], [], 0.1)
+                for sock in readable:
+                    try:
+                        data = sock.recv(65536)
+                    except (BlockingIOError, InterruptedError):
+                        continue
+                    except OSError:
+                        return
+                    if not data:
+                        return
+                    pair[sock].sendall(data)
+        finally:
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -338,3 +338,139 @@ class TestCli:
         assert cli_main(["campaign", str(campaign), "--smoke",
                          "--cache-dir", cache_dir]) == 0
         assert "2/2 cache hits" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# cache robustness: quarantine and concurrent writers
+# ----------------------------------------------------------------------
+def _hammer_cache(root, key, payload, rounds):
+    """Worker for the concurrent-writer test (module-level for pickling)."""
+    from repro.campaign import ResultCache
+
+    cache = ResultCache(root)
+    for _ in range(rounds):
+        cache.put(key, payload)
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_is_quarantined_not_reread(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        outcome = run_campaign(smoke_instances(("e1-fork-closed-form",)),
+                               cache=cache)
+        key = outcome.results[0].key
+        path = cache.path_for(key)
+        path.write_text("{torn write", encoding="utf-8")
+
+        assert cache.get(key) is None
+        # Quarantined aside, preserved for inspection, out of the *.json set.
+        assert not path.exists()
+        corrupt = path.with_suffix(path.suffix + ".corrupt")
+        assert corrupt.read_text(encoding="utf-8") == "{torn write"
+        assert len(cache) == 0
+        assert list(cache.records()) == []
+        # Subsequent reads are plain misses (nothing left to quarantine)...
+        assert cache.get(key) is None
+        # ...and a recomputed record is not shadowed by the broken file.
+        rerun = run_campaign(smoke_instances(("e1-fork-closed-form",)),
+                             cache=cache)
+        assert rerun.misses == 1
+        assert cache.get(key) is not None
+
+    def test_records_iteration_quarantines_corrupt_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(smoke_instances(("e1-fork-closed-form",)), cache=cache)
+        bad = cache.path_for("0" * 64)
+        cache.root.mkdir(exist_ok=True)
+        bad.write_bytes(b"\xff\xfe not json")
+        good = list(cache.records())
+        assert len(good) == 1
+        assert not bad.exists()
+        assert bad.with_suffix(".json.corrupt").exists()
+
+    def test_concurrent_writers_never_leave_a_torn_record(self, tmp_path):
+        import multiprocessing
+
+        root = tmp_path / "cache"
+        key = "f" * 64
+        payloads = [{"writer": n, "blob": [n] * 512} for n in (1, 2)]
+        procs = [multiprocessing.Process(target=_hammer_cache,
+                                         args=(str(root), key, payload, 200))
+                 for payload in payloads]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # tmp.replace() is atomic: whatever interleaving happened, the final
+        # file is one writer's payload in full, and no temp files survive.
+        final = json.loads(ResultCache(root).path_for(key).read_text())
+        assert final in payloads
+        assert list(root.glob("*.tmp-*")) == []
+
+
+# ----------------------------------------------------------------------
+# structured failures and the abort threshold
+# ----------------------------------------------------------------------
+def broken_instance(label="broken"):
+    good = get_scenario("e1-fork-closed-form").instance(smoke=True)
+    return type(good)(scenario=good.scenario,
+                      params={**good.params, "seed": "bogus"},
+                      label=label)
+
+
+class TestStructuredFailures:
+    def test_failure_record_carries_type_message_traceback(self, tmp_path):
+        outcome = run_campaign([broken_instance()],
+                               cache=ResultCache(tmp_path / "cache"))
+        assert outcome.errors == 1
+        failed = outcome.failures[0]
+        failure = failed.failure
+        assert failure["error_type"] == "TypeError"
+        assert failure["message"]
+        assert "Traceback" in failure["traceback"]
+        assert failure["attempts"] == 1
+        # The flat error string stays the human-readable summary.
+        assert failed.error.startswith("TypeError: ")
+
+    def test_parallel_failures_are_structured_too(self, tmp_path):
+        outcome = run_campaign([broken_instance()], jobs=2,
+                               cache=ResultCache(tmp_path / "cache"))
+        assert outcome.errors == 1
+        assert outcome.failures[0].failure["error_type"] == "TypeError"
+
+    def test_max_failures_aborts_serial_run(self, tmp_path):
+        grid = [broken_instance("b1"), broken_instance("b2"),
+                *smoke_instances(("e1-fork-closed-form",))]
+        outcome = run_campaign(grid, max_failures=0,
+                               cache=ResultCache(tmp_path / "cache"))
+        assert outcome.aborted is True
+        assert outcome.errors == 1
+        assert outcome.skipped == 2
+        assert "ABORTED" in outcome.summary()
+
+    def test_max_failures_none_never_aborts(self, tmp_path):
+        grid = [broken_instance("b1"), broken_instance("b2")]
+        outcome = run_campaign(grid, cache=ResultCache(tmp_path / "cache"))
+        assert outcome.aborted is False
+        assert outcome.errors == 2 and outcome.skipped == 0
+
+    def test_cli_campaign_exits_nonzero_on_failure_and_abort(self, tmp_path,
+                                                            capsys):
+        campaign = tmp_path / "campaign.json"
+        campaign.write_text(json.dumps({
+            "name": "failing",
+            "entries": [
+                {"scenario": "e1-fork-closed-form",
+                 "params": {"seed": "bogus"}},
+                {"scenario": "e1-fork-closed-form"},
+            ],
+        }))
+        assert cli_main(["campaign", str(campaign), "--smoke",
+                         "--cache-dir", str(tmp_path / "cache1")]) == 1
+        capsys.readouterr()
+        # Fresh cache: the failure precedes uncomputed work, so the
+        # threshold both aborts and skips (and still exits nonzero).
+        assert cli_main(["campaign", str(campaign), "--smoke",
+                         "--max-failures", "0",
+                         "--cache-dir", str(tmp_path / "cache2")]) == 1
+        assert "ABORTED" in capsys.readouterr().out

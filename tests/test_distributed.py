@@ -1,0 +1,410 @@
+"""Tests of the fault-tolerant distributed campaign coordinator.
+
+Three layers, increasingly end-to-end:
+
+* unit tests of the building blocks (retry policy, work queue, worker
+  address parsing, duplicate-completion idempotence);
+* chaos tests driving a real in-process :class:`~repro.api.server.ApiServer`
+  through the :class:`chaos.ChaosProxy` fault injector (5xx bursts, garbage
+  replies, connection kills, stalls that trip the lease timeout);
+* a multi-process integration test that SIGKILLs a spawned worker
+  mid-sweep and checks the surviving records byte-for-byte against a
+  serial run, then resumes from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from chaos import ChaosProxy
+from repro.campaign import ResultCache, run_campaign
+from repro.campaign.cache import instance_key
+from repro.campaign.distributed import (
+    RetryPolicy,
+    WorkerClient,
+    WorkerError,
+    _Coordinator,
+    _Task,
+    _WorkQueue,
+    parse_workers,
+    run_distributed_campaign,
+    spawn_local_workers,
+    stop_workers,
+)
+from repro.campaign.registry import get_scenario
+
+SCENARIO = "e1-fork-closed-form"
+
+#: Tight timings so failure paths converge in milliseconds, and a high
+#: eviction threshold so chaos-injected faults exercise retry-on-the-same
+#: -worker rather than instant eviction (eviction has its own tests).
+FAST = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.05,
+                   jitter=0.0, request_timeout=30.0, probe_timeout=1.0,
+                   probe_interval=0.05, evict_after=10)
+
+
+def instances(n=4):
+    spec = get_scenario(SCENARIO)
+    return [spec.instance({"sizes": (k,)}, smoke=True)
+            for k in range(2, 2 + n)]
+
+
+def result_blobs(outcome):
+    return [json.dumps(r.record["result"]).encode() for r in outcome.results]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def worker_server():
+    import repro.api.server as server_mod
+
+    srv = server_mod.make_server(port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def address_of(server) -> str:
+    host, port = server.server_address[:2]
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# units
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_exponential_growth_with_cap(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=1.0,
+                             jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(attempt, rng) for attempt in (1, 2, 3, 4, 5)]
+        assert delays[:4] == pytest.approx([0.1, 0.2, 0.4, 0.8])
+        assert delays[4] == pytest.approx(1.0)          # capped
+        assert policy.delay_for(20, rng) == pytest.approx(1.0)
+
+    def test_jitter_bounds(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=10.0,
+                             jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = policy.delay_for(2, rng)
+            assert 0.2 <= delay <= 0.3    # raw * [1, 1 + jitter]
+
+
+class TestParseWorkers:
+    def test_parses_comma_separated_addresses(self):
+        assert parse_workers("a:1, b:2 ,c:3,") == ["a:1", "b:2", "c:3"]
+
+    @pytest.mark.parametrize("bad", ["", ",,", "noport", ":8080", "h:px",
+                                     "ok:1,broken"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_workers(bad)
+
+
+class TestWorkQueue:
+    def _task(self, seq, index=0):
+        return _Task(not_before=0.0, seq=seq, index=index, instance=None,
+                     key=f"k{seq}")
+
+    def test_fifo_for_ready_tasks(self):
+        queue = _WorkQueue()
+        for seq in range(3):
+            queue.put(self._task(seq))
+        assert [queue.get().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_backoff_delay_holds_a_task_back(self):
+        queue = _WorkQueue()
+        queue.put(self._task(0), delay=0.15)
+        queue.put(self._task(1))                  # ready now
+        assert queue.get().seq == 1
+        started = time.monotonic()
+        assert queue.get().seq == 0
+        assert time.monotonic() - started >= 0.10
+
+    def test_pop_nowait_ignores_delays_and_close_unblocks(self):
+        queue = _WorkQueue()
+        queue.put(self._task(0), delay=60.0)
+        assert queue.pop_nowait().seq == 0        # degradation path
+        assert queue.pop_nowait() is None
+        queue.close()
+        assert queue.get() is None                 # shutdown signal
+
+
+class TestDuplicateCompletion:
+    def test_second_completion_is_ignored(self, tmp_path):
+        spec = get_scenario(SCENARIO)
+        instance = spec.instance({}, smoke=True)
+        key = instance_key(SCENARIO, instance.params,
+                           cache_version=spec.cache_version)
+        coordinator = _Coordinator(
+            workers=[], cache=ResultCache(tmp_path / "cache"),
+            policy=FAST, use_cache=True, refresh=False, share_cache=False,
+            in_process_fallback=True, max_failures=None, total=1,
+            emit=lambda line: None)
+        task = _Task(not_before=0.0, seq=0, index=0, instance=instance,
+                     key=key, attempts=1)
+        coordinator.add_pending([task])
+        record = {"key": key, "result": {"ok": True}}
+        assert coordinator.complete_success(task, record, 0.1, None) is True
+        # At-least-once execution can complete the same lease twice; the
+        # second write must be a counted no-op, not a double record.
+        assert coordinator.complete_success(task, record, 0.2, None) is False
+        assert coordinator.duplicate_completions == 1
+        assert coordinator._remaining == 0
+        assert coordinator.results[0].elapsed_seconds == 0.1
+
+
+# ----------------------------------------------------------------------
+# zero workers and dead fleets
+# ----------------------------------------------------------------------
+class TestZeroWorkers:
+    def test_matches_serial_runner_byte_for_byte(self, tmp_path):
+        grid = instances()
+        serial = run_campaign(grid, jobs=1,
+                              cache=ResultCache(tmp_path / "serial"))
+        dist = run_distributed_campaign(grid, workers=[], policy=FAST,
+                                        cache=ResultCache(tmp_path / "dist"))
+        assert dist.mode == "in-process" and not dist.degraded
+        assert dist.errors == 0
+        assert result_blobs(dist) == result_blobs(serial)
+        assert [r.key for r in dist.results] == [r.key for r in serial.results]
+
+    def test_second_run_resumes_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = instances()
+        first = run_distributed_campaign(grid, workers=[], policy=FAST,
+                                         cache=cache)
+        assert first.hits == 0
+        again = run_distributed_campaign(grid, workers=[], policy=FAST,
+                                         cache=cache)
+        assert again.hits == len(grid)
+        assert all(r.cached for r in again.results)
+
+
+class TestDeadFleet:
+    def test_all_workers_dead_degrades_and_completes(self, tmp_path):
+        dead = [f"127.0.0.1:{free_port()}", f"127.0.0.1:{free_port()}"]
+        outcome = run_distributed_campaign(
+            instances(), workers=dead, policy=FAST,
+            cache=ResultCache(tmp_path / "cache"), share_cache=False)
+        assert outcome.errors == 0
+        assert outcome.degraded is True
+        assert outcome.evictions == 2
+        assert all(r.ok for r in outcome.results)
+        # Eviction telemetry survives into the worker stats.
+        assert all(not stats["healthy"] for stats in outcome.worker_stats)
+
+    def test_no_fallback_fails_remaining_instead_of_hanging(self, tmp_path):
+        dead = [f"127.0.0.1:{free_port()}"]
+        outcome = run_distributed_campaign(
+            instances(2), workers=dead, policy=FAST,
+            cache=ResultCache(tmp_path / "cache"), share_cache=False,
+            in_process_fallback=False)
+        assert outcome.errors == 2 and not outcome.degraded
+        for result in outcome.results:
+            assert result.failure["error_type"] in ("AllWorkersLost",
+                                                    "WorkerError.connect")
+
+
+class TestAbortThreshold:
+    def test_max_failures_aborts_and_skips(self, tmp_path, monkeypatch):
+        import repro.campaign.distributed as dist_mod
+
+        def boom(scenario, params):
+            raise RuntimeError("injected execution failure")
+
+        monkeypatch.setattr(dist_mod, "_execute", boom)
+        outcome = run_distributed_campaign(
+            instances(4), workers=[], policy=FAST, max_failures=0,
+            cache=ResultCache(tmp_path / "cache"))
+        assert outcome.aborted is True
+        assert outcome.errors == 1
+        assert outcome.skipped == 3
+        failure = outcome.failures[0].failure
+        assert failure["error_type"] == "RuntimeError"
+        assert "injected execution failure" in failure["message"]
+        assert "ABORTED" in outcome.summary()
+
+
+# ----------------------------------------------------------------------
+# chaos: a real server behind the fault-injecting proxy
+# ----------------------------------------------------------------------
+class TestChaos:
+    def run_through_proxy(self, worker_server, tmp_path, faults,
+                          policy=FAST, count=3):
+        host, port = worker_server.server_address[:2]
+        with ChaosProxy(host, port) as proxy:
+            for mode, kwargs in faults:
+                proxy.fail_next(mode, **kwargs)
+            outcome = run_distributed_campaign(
+                instances(count), workers=[proxy.address], policy=policy,
+                cache=ResultCache(tmp_path / "cache"))
+            return outcome, proxy.injected.copy()
+
+    def test_5xx_burst_is_retried_to_success(self, worker_server, tmp_path):
+        outcome, injected = self.run_through_proxy(
+            worker_server, tmp_path, [("error", {"count": 2})])
+        assert outcome.errors == 0
+        assert outcome.retries >= 2
+        assert injected["error"] == 2
+
+    def test_garbage_reply_is_retried(self, worker_server, tmp_path):
+        outcome, injected = self.run_through_proxy(
+            worker_server, tmp_path, [("garbage", {"count": 1})])
+        assert outcome.errors == 0
+        assert outcome.retries >= 1
+        assert injected["garbage"] == 1
+
+    def test_connection_kill_mid_request_is_retried(self, worker_server,
+                                                    tmp_path):
+        outcome, injected = self.run_through_proxy(
+            worker_server, tmp_path, [("kill", {"count": 1})])
+        assert outcome.errors == 0
+        assert outcome.retries >= 1
+        assert injected["kill"] == 1
+
+    def test_stalled_worker_trips_the_lease_timeout(self, worker_server,
+                                                    tmp_path):
+        quick = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.05,
+                            jitter=0.0, request_timeout=0.4,
+                            probe_timeout=1.0, probe_interval=0.05,
+                            evict_after=10)
+        started = time.monotonic()
+        outcome, injected = self.run_through_proxy(
+            worker_server, tmp_path,
+            [("delay", {"count": 1, "delay": 30.0})], policy=quick, count=2)
+        assert outcome.errors == 0
+        assert outcome.retries >= 1
+        assert injected["delay"] == 1
+        # The lease expired and the task was re-run; we never waited out
+        # the full 30 s stall.
+        assert time.monotonic() - started < 10.0
+
+    def test_repeated_failures_exhaust_retries_permanently(self,
+                                                           worker_server,
+                                                           tmp_path):
+        outcome, injected = self.run_through_proxy(
+            worker_server, tmp_path, [("error", {"count": 50})], count=1)
+        assert outcome.errors == 1
+        failure = outcome.failures[0].failure
+        assert failure["attempts"] == FAST.max_attempts
+        assert "retries exhausted" in failure["message"]
+
+    def test_results_after_chaos_match_serial(self, worker_server, tmp_path):
+        grid = instances()
+        serial = run_campaign(grid, jobs=1,
+                              cache=ResultCache(tmp_path / "serial"))
+        outcome, _ = self.run_through_proxy(
+            worker_server, tmp_path,
+            [("error", {"count": 1}), ("kill", {"count": 1}),
+             ("garbage", {"count": 1})], count=len(grid))
+        assert outcome.errors == 0
+        assert result_blobs(outcome) == result_blobs(serial)
+
+
+# ----------------------------------------------------------------------
+# resume and worker offload accounting
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_relaunched_coordinator_skips_completed_instances(
+            self, worker_server, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = instances()
+        first_client = WorkerClient(*worker_server.server_address[:2])
+        first = run_distributed_campaign(grid, workers=[first_client],
+                                         policy=FAST, cache=cache)
+        assert first.errors == 0 and first.hits == 0
+        assert first_client.requests == len(grid)
+        # A re-launched coordinator (fresh client, same cache) must peel
+        # every completed instance off as a cache hit without touching the
+        # worker at all.
+        second_client = WorkerClient(*worker_server.server_address[:2])
+        second = run_distributed_campaign(grid, workers=[second_client],
+                                          policy=FAST, cache=cache)
+        assert second.hits == len(grid)
+        assert second_client.requests == 0
+        assert result_blobs(second) == result_blobs(first)
+
+    def test_partial_cache_only_schedules_the_remainder(
+            self, worker_server, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = instances(6)
+        run_distributed_campaign(grid[:3], workers=[], policy=FAST,
+                                 cache=cache)
+        client = WorkerClient(*worker_server.server_address[:2])
+        outcome = run_distributed_campaign(grid, workers=[client],
+                                           policy=FAST, cache=cache)
+        assert outcome.hits == 3
+        assert client.requests == 3
+
+
+# ----------------------------------------------------------------------
+# multi-process integration: SIGKILL a worker mid-sweep
+# ----------------------------------------------------------------------
+class TestWorkerLossIntegration:
+    def test_sweep_survives_a_sigkilled_worker(self, tmp_path):
+        grid = instances(8)
+        serial = run_campaign(grid, jobs=1,
+                              cache=ResultCache(tmp_path / "serial"))
+        assert serial.errors == 0
+
+        workers = spawn_local_workers(2)
+        by_address = {worker.address: worker for worker in workers}
+        killed = []
+
+        def kill_first_responder(line):
+            # SIGKILL the worker that served the first completed instance,
+            # from inside the completion callback: its remaining leases die
+            # mid-flight and must be requeued onto the survivor.
+            if killed or " on 127.0.0.1:" not in line:
+                return
+            address = line.rsplit(" on ", 1)[1].split(",")[0].strip()
+            worker = by_address.get(address)
+            if worker is not None:
+                worker.kill()
+                killed.append(address)
+
+        try:
+            outcome = run_distributed_campaign(
+                grid, workers=[worker.address for worker in workers],
+                policy=FAST, cache=ResultCache(tmp_path / "dist"),
+                progress=kill_first_responder)
+        finally:
+            stop_workers(workers)
+
+        assert killed, "no completion line ever named a worker"
+        assert outcome.errors == 0
+        assert outcome.evictions >= 1
+        # The acceptance bar: records identical to the serial run, byte
+        # for byte, despite losing a worker mid-flight.
+        assert result_blobs(outcome) == result_blobs(serial)
+        assert [r.key for r in outcome.results] == \
+            [r.key for r in serial.results]
+
+        # And a re-launched coordinator resumes: everything is already in
+        # the content-addressed cache, no worker needed.
+        resumed = run_distributed_campaign(
+            grid, workers=[], policy=FAST,
+            cache=ResultCache(tmp_path / "dist"))
+        assert resumed.hits == len(grid)
+        assert result_blobs(resumed) == result_blobs(serial)

@@ -222,3 +222,77 @@ class TestConcurrency:
         energies = {payload["energy"] for status, payload in results}
         assert all(status == 200 for status, _ in results)
         assert len(energies) == 1
+
+
+class TestHardening:
+    """Request-size and stalled-client protections of the transport."""
+
+    @pytest.fixture
+    def hardened(self):
+        srv = make_server(port=0, engine=Engine(),
+                          max_body_bytes=1024, handler_timeout=0.5)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield srv
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+    def test_oversized_body_is_rejected_with_413(self, hardened):
+        big = {"problem": {"pad": "x" * 4096}}
+        status, payload = _request(hardened, "POST", "/v1/solve", big)
+        assert status == 413
+        assert payload["error"]["code"] == "size_limit"
+        assert payload["error"]["detail"]["max_body_bytes"] == 1024
+        assert payload["error"]["detail"]["content_length"] > 1024
+
+    def test_lying_content_length_is_rejected_before_reading(self, hardened):
+        # Only headers go out: a Content-Length far beyond the limit must be
+        # bounced without the server waiting for (or buffering) the body.
+        import socket
+
+        host, port = hardened.server_address[:2]
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"POST /v1/solve HTTP/1.1\r\n"
+                         b"Host: test\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 999999999\r\n\r\n")
+            sock.settimeout(5)
+            reply = b""
+            # Headers and body go out as separate writes; read until the
+            # body arrived (the server closes the connection afterwards).
+            while b"size_limit" not in reply:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        assert b"413" in reply.split(b"\r\n", 1)[0]
+        assert b"size_limit" in reply
+
+    def test_under_limit_requests_still_served(self, hardened):
+        status, payload = _request(hardened, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_stalled_client_is_disconnected_by_handler_timeout(self, hardened):
+        import socket
+        import time
+
+        host, port = hardened.server_address[:2]
+        with socket.create_connection((host, port), timeout=5) as sock:
+            # Half a request line, then silence: the 0.5 s socket timeout
+            # must free the handler thread and close the connection.
+            sock.sendall(b"POST /v1/solve HTT")
+            time.sleep(1.2)
+            sock.settimeout(5)
+            assert sock.recv(4096) == b""   # server hung up
+
+    def test_timeout_zero_disables_the_knobs(self):
+        # CLI maps 0 to None; None must mean "no cap / no timeout".
+        srv = make_server(port=0, max_body_bytes=None, handler_timeout=None)
+        try:
+            assert srv.max_body_bytes is None
+            assert srv.handler_timeout is None
+        finally:
+            srv.server_close()
