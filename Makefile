@@ -5,7 +5,7 @@
 #   make lint           - ruff check (critical rules; skipped when ruff is absent)
 #   make smoke          - reduced-size smoke of the simulation + batch-solver perf paths
 #   make campaign-smoke - every E1-E13 scenario through the campaign runner
-#   make serve-smoke    - boot `python -m repro serve`, POST a solve + a batch, assert 200/schema
+#   make serve-smoke    - boot `python -m repro serve` (single + --workers 2 fleet), assert 200/schema + shared store
 #   make distributed-smoke - multi-worker coordinator + chaos tests under a hard timeout
 #   make refresh-golden - intentionally regenerate tests/golden/*.json snapshots
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
@@ -59,7 +59,9 @@ campaign-smoke:
 		$(PYTHON) -m repro campaign all --smoke --jobs 2
 
 # End-to-end gate on the v1 HTTP API: boots the real `python -m repro serve`
-# subprocess on a free port and asserts one solve and one batch round trip.
+# subprocess on a free port and asserts one solve and one batch round trip,
+# then a `--workers 2` fleet on one shared port/store and asserts both
+# workers answer, share cache hits, and drain cleanly on SIGTERM.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 

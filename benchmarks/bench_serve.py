@@ -1,0 +1,213 @@
+"""Load harness for multi-worker serving over the persistent result store.
+
+Boots the real ``python -m repro serve`` CLI as a subprocess -- single
+server and ``--workers N`` fleets sharing one port -- and measures request
+throughput into ``BENCH_serve.json`` at the repository root:
+
+* **cold** -- a fresh store directory: every ``POST /v1/solve`` dispatches
+  the TRI-CRIT subset-enumeration solver;
+* **warm** -- the *same* store directory behind a freshly restarted server
+  (empty in-memory LRU), so every request is answered from the persistent
+  tier: this isolates the store read path, not engine memoization;
+* **batch** -- ``POST /v1/solve-batch`` at several batch sizes against the
+  warm server, measuring instances per second.
+
+The acceptance bar: warm-store throughput at batch size 1 must beat the
+cold single-solve throughput by at least 10x.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.problem_io import problem_to_dict
+from repro.experiments.instances import chain_suite, tricrit_problem
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: Warm-store repeats must beat cold solves by at least this factor.
+WARM_SPEEDUP_BAR = 10.0
+
+NUM_INSTANCES = int(os.environ.get("REPRO_BENCH_SERVE_INSTANCES", "24"))
+WARM_REPEATS = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "3"))
+WORKER_COUNTS = tuple(
+    int(w) for w in
+    os.environ.get("REPRO_BENCH_SERVE_WORKERS", "1,2,4").split(","))
+BATCH_SIZES = tuple(
+    int(b) for b in
+    os.environ.get("REPRO_BENCH_SERVE_BATCH", "1,8").split(","))
+STARTUP_TIMEOUT = 60.0
+
+
+def _payloads():
+    """Distinct TRI-CRIT chains: cold solves run the subset-enumeration
+    solver, so the cold/warm contrast measures a real workload."""
+    specs = chain_suite(sizes=(8,), slacks=(2.0, 2.5, 3.0), seed=61)
+    return [problem_to_dict(tricrit_problem(specs[i % len(specs)],
+                                            frel=0.8 - 0.004 * i))
+            for i in range(NUM_INSTANCES)]
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _boot(workers: int, store_dir: str) -> tuple[subprocess.Popen, int]:
+    port = _free_port()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--workers", str(workers), "--store-dir", store_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=os.environ.copy())
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("GET", "/healthz")
+                if conn.getresponse().status == 200:
+                    return proc, port
+            finally:
+                conn.close()
+        except OSError:
+            time.sleep(0.2)
+    proc.kill()
+    out, _ = proc.communicate(timeout=10)
+    raise RuntimeError(f"serve --workers {workers} never became healthy:\n"
+                       f"{out}")
+
+
+def _stop(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.communicate(timeout=20)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+
+
+def _hammer(port: int, bodies: list[bytes], path: str, clients: int) -> float:
+    """Issue every request body once from ``clients`` concurrent
+    connections; returns elapsed wall seconds."""
+    index = iter(range(len(bodies)))
+    lock = threading.Lock()
+    failures: list[str] = []
+
+    def run_client() -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            while True:
+                with lock:
+                    i = next(index, None)
+                if i is None:
+                    return
+                conn.request("POST", path, body=bodies[i],
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                data = response.read()
+                if response.status != 200:
+                    with lock:
+                        failures.append(data.decode("utf-8", "replace")[:200])
+                    return
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=run_client) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    assert not failures, f"{path} load run failed: {failures[0]}"
+    return elapsed
+
+
+def _measure_config(workers: int, payloads: list[dict]) -> dict:
+    clients = max(2, 2 * workers)
+    solve_bodies = [json.dumps({"problem": p}).encode("utf-8")
+                    for p in payloads]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store:
+        # Cold: fresh store, every request dispatches a solver.
+        proc, port = _boot(workers, store)
+        try:
+            cold_seconds = _hammer(port, solve_bodies, "/v1/solve", clients)
+        finally:
+            _stop(proc)
+        # Warm: same store behind a *restarted* server -- the in-memory
+        # LRU is empty, so throughput is the persistent tier's read path.
+        proc, port = _boot(workers, store)
+        try:
+            warm_bodies = solve_bodies * WARM_REPEATS
+            warm_seconds = _hammer(port, warm_bodies, "/v1/solve", clients)
+            batch = {}
+            for size in BATCH_SIZES:
+                groups = [payloads[i:i + size]
+                          for i in range(0, len(payloads), size)]
+                bodies = [json.dumps({"problems": g}).encode("utf-8")
+                          for g in groups]
+                seconds = _hammer(port, bodies, "/v1/solve-batch", clients)
+                batch[str(size)] = {
+                    "requests": len(bodies),
+                    "instances_per_second": len(payloads) / seconds,
+                }
+        finally:
+            _stop(proc)
+    cold_rps = len(solve_bodies) / cold_seconds
+    warm_rps = len(warm_bodies) / warm_seconds
+    return {
+        "workers": workers,
+        "clients": clients,
+        "cold_requests_per_second": cold_rps,
+        "warm_requests_per_second": warm_rps,
+        "warm_speedup": warm_rps / cold_rps,
+        "batch": batch,
+    }
+
+
+def test_serve_throughput_workers_by_batch():
+    payloads = _payloads()
+    configs = [_measure_config(w, payloads) for w in WORKER_COUNTS]
+
+    record = {
+        "instances": NUM_INSTANCES,
+        "warm_repeats": WARM_REPEATS,
+        "batch_sizes": list(BATCH_SIZES),
+        "warm_speedup_bar": WARM_SPEEDUP_BAR,
+        "configs": configs,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\n[bench_serve] {NUM_INSTANCES} TRI-CRIT instances, "
+          f"workers x batch over a shared persistent store "
+          f"-> {BENCH_PATH.name}")
+    for cfg in configs:
+        batches = ", ".join(
+            f"batch {size}: {stats['instances_per_second']:.0f}/s"
+            for size, stats in cfg["batch"].items())
+        print(f"  workers={cfg['workers']}: cold "
+              f"{cfg['cold_requests_per_second']:.1f} req/s, warm-store "
+              f"{cfg['warm_requests_per_second']:.0f} req/s "
+              f"({cfg['warm_speedup']:.0f}x); {batches}")
+
+    for cfg in configs:
+        assert cfg["warm_speedup"] >= WARM_SPEEDUP_BAR, (
+            f"workers={cfg['workers']}: warm-store serving only "
+            f"{cfg['warm_speedup']:.1f}x faster than cold solves "
+            f"(bar: {WARM_SPEEDUP_BAR}x)")

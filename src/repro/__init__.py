@@ -61,6 +61,7 @@ _SUBPACKAGES = frozenset({
     "platform",
     "simulation",
     "solvers",
+    "store",
 })
 
 #: Most-used classes re-exported at the top level, and the canonical error
@@ -107,6 +108,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
         platform,
         simulation,
         solvers,
+        store,
     )
     from .core import (  # noqa: F401
         BiCritProblem,

@@ -17,8 +17,17 @@ the life of the process:
   lists through :func:`repro.solvers.batch.solve_batch`, which groups
   homogeneous (structure x speed model x solver) runs into single vectorized
   programs, while cache hits are peeled off first;
-* **service metrics** -- request counters, cache hit rates and a latency
-  ring buffer (p50/p99) exported by ``GET /metrics``.
+* an optional **persistent store tier** -- when constructed with a
+  :class:`repro.store.ResultStore`, the LRU becomes a write-through view
+  over the shared on-disk tier (``results`` namespace): computed results
+  are published as rebuildable schedule records, survive restarts, and are
+  visible to every worker process sharing the store root;
+* **request coalescing** -- identical in-flight solves are single-flighted
+  per process: one leader computes, concurrent duplicates wait and share
+  the answer (flagged ``cached`` on the wire);
+* **service metrics** -- request counters, cache hit rates, store and
+  coalescing counters, and a latency ring buffer (p50/p99) exported by
+  ``GET /metrics``.
 
 Two layers share one engine: the *object* layer (:meth:`submit` /
 :meth:`submit_batch`, returning raw
@@ -33,7 +42,7 @@ the HTTP service consumes).  Both are thread-safe; the HTTP server is a
 from __future__ import annotations
 
 import hashlib
-import json
+import os
 import threading
 import time
 from collections import Counter, OrderedDict, deque
@@ -41,10 +50,14 @@ from collections.abc import Mapping, Sequence
 from typing import Any
 
 from ..core.problems import BiCritProblem, SolveResult
+from ..core.schedule import Execution, Schedule, TaskDecision
 from ..simulation import run_monte_carlo
 from ..solvers import SolverContext, get_solver
 from ..solvers.batch import solve_batch as _kernel_solve_batch
 from ..solvers.dispatch import solve as _kernel_solve
+from ..store import Coalescer, ResultStore
+from ..store.canonical import canonical_blob as _canonical_blob
+from ..store.canonical import canonicalize
 from .errors import (
     INTERNAL_ERROR,
     INVALID_PROBLEM,
@@ -80,19 +93,21 @@ DEFAULT_POOL_SIZE = 4096
 #: Per-route latency ring-buffer length for the p50/p99 metrics.
 DEFAULT_LATENCY_WINDOW = 2048
 
+#: Store namespace the engine's persistent results live under.
+STORE_NAMESPACE = "results"
+
+#: Bump when the persisted result payload layout changes; part of the
+#: request key, so stale persistent records become silent misses instead of
+#: parse failures.
+_RESULT_SCHEMA_VERSION = 1
+
+#: Waiter deadline on a coalesced in-flight solve (defensive; a leader that
+#: outlives this has effectively hung).
+DEFAULT_COALESCE_TIMEOUT = 600.0
+
 #: Attribute memoizing the content hash on the (frozen) problem object,
 #: mirroring how ``SolverContext.for_problem`` memoizes the context.
 _KEY_ATTR = "_api_content_key"
-
-
-def _canonical_blob(value: Any) -> bytes:
-    # Deferred import: repro.campaign pulls the experiment drivers in via its
-    # registry, and the experiment drivers import repro.api -- importing the
-    # cache module lazily keeps repro.api importable on its own.
-    from ..campaign.cache import canonicalize
-
-    return json.dumps(canonicalize(value), sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
 
 
 def problem_content_key(problem: BiCritProblem) -> str:
@@ -149,15 +164,25 @@ class Engine:
                  problem_pool_size: int = DEFAULT_POOL_SIZE,
                  max_tasks: int | None = DEFAULT_MAX_TASKS,
                  max_batch: int | None = DEFAULT_MAX_BATCH,
-                 latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+                 latency_window: int = DEFAULT_LATENCY_WINDOW,
+                 store: ResultStore | None = None,
+                 coalesce_timeout: float = DEFAULT_COALESCE_TIMEOUT) -> None:
         """``max_tasks`` / ``max_batch`` are per-request admission caps
         (``size_limit`` beyond them); ``None`` disables a cap -- the shared
         in-process engine of :func:`repro.api.default_engine` runs
-        uncapped, the HTTP server keeps the service defaults."""
+        uncapped, the HTTP server keeps the service defaults.  ``store``
+        attaches the persistent shared tier: the in-memory LRU becomes a
+        write-through view over it, so results survive restarts and are
+        shared with other worker processes on the same root; ``None`` (the
+        default, and what direct library users get) keeps the engine fully
+        in-memory."""
         self.max_tasks = max_tasks
         self.max_batch = max_batch
+        self.store = store
         self._results = _LRU(cache_size)
         self._problems = _LRU(problem_pool_size)
+        self._coalescer = Coalescer()
+        self._coalesce_timeout = coalesce_timeout
         self._lock = threading.RLock()
         self._counters: Counter[str] = Counter()
         self._error_counters: Counter[str] = Counter()
@@ -223,8 +248,16 @@ class Engine:
 
     def _request_key(self, problem: BiCritProblem, solver: str,
                      options: Mapping[str, Any]) -> str:
+        from .. import __version__
+
         try:
-            blob = _canonical_blob({"solver": solver, "options": dict(options)})
+            # The version tag makes keys library-version-scoped: now that
+            # results persist across processes, a record written by an older
+            # repro (or an older payload schema) must miss, not deserialise.
+            blob = _canonical_blob({
+                "solver": solver, "options": dict(options),
+                "version": f"repro-{__version__}/"
+                           f"result-schema-{_RESULT_SCHEMA_VERSION}"})
         except TypeError as exc:
             raise ApiError(INVALID_REQUEST,
                            f"options are not JSON-canonicalisable: {exc}") from exc
@@ -261,24 +294,141 @@ class Engine:
         self._check_size(problem)
         self._check_solver_name(solver)
         key = self._request_key(problem, solver, options)
-        if use_cache:
-            with self._lock:
-                hit = self._results.get(key)
-            if hit is not None:
-                with self._lock:
-                    self._counters["cache_hits"] += 1
-                return hit, True, 0.0
-        t0 = time.perf_counter()
-        result = _kernel_solve(problem, solver=solver, context=context,
-                               **options)
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
-        if use_cache:
+        if not use_cache:
             # Cache-bypassing solves never consulted the cache, so they do
-            # not count against the hit rate.
+            # not count against the hit rate, are not published to the
+            # store, and are not coalesced (a refresh must recompute).
+            t0 = time.perf_counter()
+            result = _kernel_solve(problem, solver=solver, context=context,
+                                   **options)
+            return result, False, (time.perf_counter() - t0) * 1e3
+
+        hit = self._cache_lookup(key, problem)
+        if hit is not None:
+            return hit, True, 0.0
+
+        # Single-flight: concurrent identical requests elect one leader and
+        # everyone else shares its answer (or its exception).
+        flight, leader = self._coalescer.claim(key)
+        if not leader:
+            result = flight.wait(self._coalesce_timeout)
             with self._lock:
-                self._counters["cache_misses"] += 1
-                self._results.put(key, result)
+                self._counters["cache_hits"] += 1
+                self._counters["coalesced_hits"] += 1
+            return result, True, 0.0
+        try:
+            # Re-check under the flight: a result published between our
+            # lookup and the claim (by a thread whose flight just retired)
+            # would otherwise be recomputed.
+            hit = self._cache_lookup(key, problem)
+            if hit is not None:
+                self._coalescer.resolve(flight, result=hit)
+                return hit, True, 0.0
+            t0 = time.perf_counter()
+            result = _kernel_solve(problem, solver=solver, context=context,
+                                   **options)
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+        except BaseException as exc:
+            self._coalescer.resolve(flight, error=exc)
+            raise
+        with self._lock:
+            self._counters["cache_misses"] += 1
+            self._results.put(key, result)
+        self._store_put(key, result)
+        self._coalescer.resolve(flight, result=result)
         return result, False, elapsed_ms
+
+    # ------------------------------------------------------------------
+    # the two-level cache (in-memory LRU over the persistent store)
+    # ------------------------------------------------------------------
+    def _cache_lookup(self, key: str,
+                      problem: BiCritProblem) -> SolveResult | None:
+        """LRU first, then the persistent tier; promotes store hits."""
+        with self._lock:
+            hit = self._results.get(key)
+            if hit is not None:
+                self._counters["cache_hits"] += 1
+                return hit
+        if self.store is None:
+            return None
+        payload = self.store.get(key, STORE_NAMESPACE)
+        result = (self._result_from_payload(payload, problem)
+                  if payload is not None else None)
+        with self._lock:
+            if result is None:
+                self._counters["store_misses"] += 1
+                return None
+            self._counters["cache_hits"] += 1
+            self._counters["store_hits"] += 1
+            self._results.put(key, result)
+        return result
+
+    def _store_put(self, key: str, result: SolveResult) -> None:
+        """Publish a computed result to the shared tier (best effort --
+        a full disk or read-only root must not fail the solve)."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(key, self._result_to_payload(result),
+                           STORE_NAMESPACE)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    @staticmethod
+    def _result_to_payload(result: SolveResult) -> dict[str, Any]:
+        """A JSON-rebuildable record of one solve.
+
+        The schedule is stored as the full per-execution interval lists
+        (not the flat wire ``speeds`` view, which conflates VDD-hopping
+        intra-task intervals with re-executions), so the stored form
+        round-trips to a real :class:`Schedule` against the interned
+        problem -- simulate and the object layer work on a store hit.
+        """
+        schedule = result.schedule
+        payload: dict[str, Any] = {
+            "status": result.status,
+            "solver": result.solver,
+            "energy": float(result.energy),
+            "metadata": {},
+            "schedule": None,
+        }
+        for k, v in result.metadata.items():
+            try:
+                payload["metadata"][str(k)] = canonicalize(v)
+            except TypeError:
+                continue       # drop non-JSON metadata, keep the record
+        if schedule is not None:
+            payload["schedule"] = {"executions": {
+                str(t): [[[float(f), float(d)] for f, d in e.intervals]
+                         for e in decision.executions]
+                for t, decision in schedule.decisions.items()}}
+        return payload
+
+    @staticmethod
+    def _result_from_payload(payload: Any,
+                             problem: BiCritProblem) -> SolveResult | None:
+        """Rebuild a :class:`SolveResult` from a stored record; ``None``
+        (a miss) when the record does not fit this problem."""
+        if not isinstance(payload, Mapping):
+            return None
+        try:
+            schedule = None
+            sched_payload = payload.get("schedule")
+            if sched_payload is not None:
+                by_name = {str(t): t for t in problem.graph.tasks()}
+                decisions = {}
+                for name, runs in sched_payload["executions"].items():
+                    task = by_name[name]
+                    decisions[task] = TaskDecision(task, tuple(
+                        Execution.from_intervals(run) for run in runs))
+                schedule = Schedule(problem.mapping, problem.platform,
+                                    decisions)
+            return SolveResult(
+                schedule=schedule, energy=float(payload["energy"]),
+                status=str(payload["status"]), solver=str(payload["solver"]),
+                metadata=dict(payload.get("metadata") or {}))
+        except (KeyError, TypeError, ValueError):
+            return None
 
     def submit_batch(self, problems: Sequence[Any], solver: str = "auto", *,
                      contexts: Sequence[SolverContext] | None = None,
@@ -312,17 +462,15 @@ class Engine:
         out: list[tuple[SolveResult, bool] | None] = [None] * len(resolved)
         misses: list[int] = []
         for i, key in enumerate(keys):
-            hit = None
-            if use_cache:
-                with self._lock:
-                    hit = self._results.get(key)
+            # Two-level peel: the in-memory LRU, then the persistent tier
+            # (_cache_lookup counts hits and promotes store hits itself).
+            hit = self._cache_lookup(key, resolved[i]) if use_cache else None
             if hit is not None:
                 out[i] = (hit, True)
             else:
                 misses.append(i)
         if use_cache:
             with self._lock:
-                self._counters["cache_hits"] += len(resolved) - len(misses)
                 self._counters["cache_misses"] += len(misses)
         if misses:
             miss_problems = [resolved[i] for i in misses]
@@ -335,6 +483,9 @@ class Engine:
                     out[i] = (result, False)
                     if use_cache:
                         self._results.put(keys[i], result)
+            if use_cache:
+                for i, result in zip(misses, results):
+                    self._store_put(keys[i], result)
         return [pair for pair in out if pair is not None]
 
     # ------------------------------------------------------------------
@@ -342,8 +493,6 @@ class Engine:
     # ------------------------------------------------------------------
     def _build_response(self, result: SolveResult, *, cached: bool,
                         elapsed_ms: float) -> SolveResponse:
-        from ..campaign.cache import canonicalize
-
         schedule = result.schedule
         speeds: dict[str, list[float]] = {}
         makespan = None
@@ -421,7 +570,7 @@ class Engine:
 
     def campaign(self, request: CampaignRequest) -> CampaignResponse:
         """``POST /v1/campaign``: one scenario through the campaign cache."""
-        from ..campaign.cache import ResultCache, canonicalize
+        from ..campaign.cache import ResultCache
         from ..campaign.registry import get_scenario
         from ..campaign.runner import run_campaign
 
@@ -469,20 +618,47 @@ class Engine:
             buf.append(seconds * 1e3)
 
     def health(self) -> dict[str, Any]:
-        """``GET /healthz``: liveness payload."""
+        """``GET /healthz``: liveness payload (``pid`` identifies which
+        worker of a ``--workers N`` fleet answered)."""
         from .. import __version__
 
         return {"status": "ok", "version": __version__,
-                "api_version": "v1",
+                "api_version": "v1", "pid": os.getpid(),
                 "uptime_seconds": time.time() - self._created}
 
+    def store_stats(self) -> dict[str, Any]:
+        """``GET /v1/store``: durable-tier snapshot plus coalescing state."""
+        stats: dict[str, Any] = {"enabled": self.store is not None,
+                                 "namespace": STORE_NAMESPACE,
+                                 "coalesce": self._coalescer.stats()}
+        if self.store is not None:
+            stats.update(self.store.stats())
+        return stats
+
+    #: Internal counter names excluded from the per-route request table.
+    _CACHE_COUNTERS = ("cache_hits", "cache_misses", "coalesced_hits",
+                       "store_hits", "store_misses")
+
     def metrics(self) -> dict[str, Any]:
-        """``GET /metrics``: counters, cache hit rate, p50/p99 latency."""
+        """``GET /metrics``: counters, cache hit rate, store and coalescing
+        counters, p50/p99 latency."""
+        store_counters = self.store.counters() if self.store is not None else {}
+        coalesce = self._coalescer.stats()
         with self._lock:
             hits = self._counters["cache_hits"]
             misses = self._counters["cache_misses"]
+            store_section = {
+                "enabled": self.store is not None,
+                # Engine-observed persistent-tier traffic: hits served from
+                # disk (after an LRU miss) vs consults that missed.
+                "hits": self._counters["store_hits"],
+                "misses": self._counters["store_misses"],
+                # The store's own counters (writes/evictions/quarantine).
+                "backend": store_counters,
+                "coalesce": coalesce,
+            }
             requests = {route: count for route, count in self._counters.items()
-                        if route not in ("cache_hits", "cache_misses")}
+                        if route not in self._CACHE_COUNTERS}
             latency = {}
             for route, buf in self._latencies.items():
                 values = sorted(buf)
@@ -494,6 +670,7 @@ class Engine:
                 }
             return {
                 "uptime_seconds": time.time() - self._created,
+                "pid": os.getpid(),
                 "requests": requests,
                 "requests_total": sum(requests.values()),
                 "errors": dict(self._error_counters),
@@ -503,8 +680,10 @@ class Engine:
                     "problem_pool_entries": len(self._problems),
                     "hits": hits,
                     "misses": misses,
+                    "coalesced_hits": self._counters["coalesced_hits"],
                     "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
                 },
+                "store": store_section,
                 "limits": {"max_tasks": self.max_tasks,
                            "max_batch": self.max_batch},
                 "latency_ms": latency,

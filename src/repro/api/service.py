@@ -13,6 +13,7 @@ Routes (all payloads JSON)::
     POST /v1/simulate     SimulateRequest    -> SimulateResponse
     POST /v1/campaign     CampaignRequest    -> CampaignResponse
     GET  /v1/solvers      --                 -> {"solvers": [capability rows]}
+    GET  /v1/store        --                 -> persistent-store stats
     GET  /healthz         --                 -> liveness payload
     GET  /metrics         --                 -> counters / cache / latency
 
@@ -51,6 +52,7 @@ ROUTES: dict[tuple[str, str], str] = {
     ("POST", f"/{API_VERSION}/simulate"): "simulate",
     ("POST", f"/{API_VERSION}/campaign"): "campaign",
     ("GET", f"/{API_VERSION}/solvers"): "solvers",
+    ("GET", f"/{API_VERSION}/store"): "store",
     ("GET", "/healthz"): "healthz",
     ("GET", "/metrics"): "metrics",
 }
@@ -144,6 +146,9 @@ class Service:
     def _handle_solvers(self, body: bytes | str | None) -> dict[str, Any]:
         return {"api_version": API_VERSION,
                 "solvers": self.engine.solver_table()}
+
+    def _handle_store(self, body: bytes | str | None) -> dict[str, Any]:
+        return {"api_version": API_VERSION, **self.engine.store_stats()}
 
     def _handle_healthz(self, body: bytes | str | None) -> dict[str, Any]:
         return self.engine.health()

@@ -3,9 +3,18 @@
 Every scenario instance is keyed by a stable SHA-256 hash of its
 canonicalised configuration (scenario name + effective keyword parameters)
 plus a code-relevant version tag (the library version and the scenario's
-``cache_version``).  Records are JSON files under ``.repro-cache/`` (or
-``$REPRO_CACHE_DIR``), so re-running a campaign whose code and parameters
-did not change is a pure disk read.
+``cache_version``), so re-running a campaign whose code and parameters did
+not change is a pure disk read.
+
+Since the store tier landed, this module is a thin adapter: records live in
+the shared persistent :class:`repro.store.ResultStore` under the
+``campaign`` namespace (sharded ``<root>/campaign/<key[:2]>/<key>.json``
+envelopes with content checksums, atomic writes, quarantine of corrupt
+entries) -- the *same* on-disk tree the API engine's result cache writes
+through to, so campaigns and servers warm one tier, not two.  The public
+surface (:class:`ResultCache` with ``get``/``put``/``records``/``path_for``,
+:func:`instance_key`, :func:`make_record`, :func:`canonicalize`) is
+unchanged.
 """
 
 from __future__ import annotations
@@ -14,47 +23,24 @@ import hashlib
 import json
 import os
 import time
-from pathlib import Path
 from collections.abc import Iterator, Mapping
+from pathlib import Path
 from typing import Any
 
-import numpy as np
+from ..store import ResultStore
+from ..store.canonical import canonicalize
 
 __all__ = ["ResultCache", "canonicalize", "instance_key", "make_record",
-           "DEFAULT_CACHE_DIR"]
+           "DEFAULT_CACHE_DIR", "NAMESPACE"]
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Store namespace campaign records live under.
+NAMESPACE = "campaign"
+
 #: Bump when the record layout itself changes (invalidates every entry).
-_SCHEMA_VERSION = 1
-
-
-def canonicalize(value: Any) -> Any:
-    """Reduce a parameter/result value to a canonical JSON-compatible form.
-
-    Tuples and lists collapse to lists, mappings to plain dicts with string
-    keys (insertion order preserved -- key hashing sorts independently, and
-    stored result rows keep their column order), numpy scalars/arrays to
-    their Python equivalents.  Two configurations that compare equal after
-    canonicalisation hash to the same cache key regardless of the container
-    types used to express them.
-    """
-    if isinstance(value, (str, bool, int, type(None))):
-        return value
-    if isinstance(value, float):
-        return float(value)
-    if isinstance(value, np.generic):
-        return canonicalize(value.item())
-    if isinstance(value, np.ndarray):
-        return [canonicalize(v) for v in value.tolist()]
-    if isinstance(value, Mapping):
-        return {str(k): canonicalize(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
-        return [canonicalize(v) for v in items]
-    raise TypeError(f"cannot canonicalise {type(value).__name__!r} value {value!r} "
-                    "for the result cache")
+_SCHEMA_VERSION = 2
 
 
 def _version_tag(cache_version: int) -> str:
@@ -76,90 +62,60 @@ def instance_key(scenario: str, params: Mapping[str, Any], *,
 
 
 class ResultCache:
-    """JSON-file result store addressed by :func:`instance_key` hashes."""
+    """Campaign-facing view over the shared persistent result store.
 
-    def __init__(self, root: str | os.PathLike | None = None):
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-        self.root = Path(root)
+    Addresses the ``campaign`` namespace of a :class:`ResultStore` rooted at
+    ``root`` (default ``$REPRO_CACHE_DIR`` or ``.repro-cache``).  An
+    existing store instance can be injected to share one in-memory index
+    with other consumers in the process.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 store: ResultStore | None = None):
+        if store is None:
+            if root is None:
+                root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+            store = ResultStore(root)
+        self.store = store
+        self.root: Path = store.root
 
     # -- addressing ----------------------------------------------------
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+        """On-disk envelope location for ``key`` (sharded under the
+        ``campaign`` namespace)."""
+        return self.store.path_for(key, NAMESPACE)
 
     # -- read ----------------------------------------------------------
     def get(self, key: str) -> dict | None:
         """Return the cached record for ``key``, or None on a miss.
 
-        Corrupt entries (invalid JSON / undecodable bytes) are quarantined
-        -- moved aside to ``<key>.json.corrupt`` -- so they count as a miss
-        exactly once and the recomputed record is not shadowed by a broken
-        file on every future read.  Other I/O errors are plain misses.
+        Corrupt entries (invalid JSON / undecodable bytes / checksum
+        mismatches) are quarantined -- moved aside to
+        ``<key>.json.corrupt`` -- so they count as a miss exactly once and
+        the recomputed record is not shadowed by a broken file on every
+        future read.  Other I/O errors are plain misses.
         """
-        path = self.path_for(key)
-        try:
-            with path.open(encoding="utf-8") as fh:
-                return json.load(fh)
-        except FileNotFoundError:
-            return None
-        # ValueError covers JSONDecodeError and the UnicodeDecodeError a
-        # torn write can leave behind.
-        except ValueError:
-            self._quarantine(path)
-            return None
-        except OSError:
-            return None
-
-    def _quarantine(self, path: Path) -> Path | None:
-        """Move a corrupt entry aside (best effort); returns its new path.
-
-        The quarantined name does not match the ``*.json`` glob, so the
-        entry disappears from ``records()`` / ``len()`` while staying on
-        disk for post-mortem inspection.
-        """
-        target = path.with_suffix(path.suffix + ".corrupt")
-        try:
-            path.replace(target)
-            return target
-        except OSError:
-            return None
+        record = self.store.get(key, NAMESPACE)
+        return record if isinstance(record, dict) else None
 
     def records(self) -> Iterator[dict]:
-        """All readable records in the cache, in file-name (key) order."""
-        if not self.root.is_dir():
-            return
-        for path in sorted(self.root.glob("*.json")):
-            try:
-                with path.open(encoding="utf-8") as fh:
-                    yield json.load(fh)
-            except ValueError:
-                self._quarantine(path)
-                continue
-            except OSError:
-                continue
+        """All readable records in the cache, in key order."""
+        for envelope in self.store.records(NAMESPACE):
+            payload = envelope.get("payload")
+            if isinstance(payload, dict):
+                yield payload
 
     # -- write ---------------------------------------------------------
     def put(self, key: str, record: Mapping[str, Any]) -> Path:
         """Write ``record`` under ``key`` (atomically via a temp file)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(record, fh, indent=1)
-        tmp.replace(path)
-        return path
+        return self.store.put(key, dict(record), NAMESPACE)
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number of files removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        return self.store.clear(NAMESPACE)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0
+        return self.store.count(NAMESPACE)
 
 
 def make_record(*, key: str, scenario: str, params: Mapping[str, Any],

@@ -13,10 +13,15 @@ Subcommands:
   it in parallel, and report the cache hit count;
 * ``repro report [scenario]`` -- re-render the cached result records as
   tables without recomputing anything;
+* ``repro cache stats|gc|verify`` -- inspect the persistent result store
+  (per-namespace entry/byte counts), evict it down to a byte budget, or
+  re-verify every record's content checksum (quarantining mismatches);
 * ``repro serve`` -- serve the versioned v1 JSON API over HTTP
   (``POST /v1/solve``, ``/v1/solve-batch``, ``/v1/simulate``,
-  ``/v1/campaign``; ``GET /v1/solvers``, ``/healthz``, ``/metrics``) --
-  see :mod:`repro.api.server` and the README's "Serving" section.
+  ``/v1/campaign``; ``GET /v1/solvers``, ``/v1/store``, ``/healthz``,
+  ``/metrics``), optionally as a pre-forked ``--workers N`` fleet sharing
+  the store -- see :mod:`repro.api.server` and the README's "Serving at
+  scale" section.
 """
 
 from __future__ import annotations
@@ -35,8 +40,8 @@ from .registry import get_scenario, iter_scenarios
 from .runner import run_campaign
 from .sweep import all_scenarios_campaign, expand_campaign, load_campaign_file
 
-__all__ = ["main", "build_parser", "parse_param", "render_result",
-           "solver_table_markdown"]
+__all__ = ["main", "build_parser", "parse_param", "parse_bytes",
+           "render_result", "solver_table_markdown"]
 
 
 # ----------------------------------------------------------------------
@@ -246,7 +251,11 @@ def _run_distributed(args: argparse.Namespace, name: str, instances):
     try:
         if args.spawn:
             try:
-                spawned = spawn_local_workers(args.spawn)
+                # Spawned workers share the coordinator's cache root as
+                # their persistent store, so worker-computed solves warm
+                # the same on-disk tier this campaign reads.
+                spawned = spawn_local_workers(
+                    args.spawn, store_dir=ResultCache(args.cache_dir).root)
             except (OSError, RuntimeError) as exc:
                 raise _UsageError(f"cannot spawn local workers: {exc}") from exc
             addresses = addresses + [worker.address for worker in spawned]
@@ -261,6 +270,53 @@ def _run_distributed(args: argparse.Namespace, name: str, instances):
         )
     finally:
         stop_workers(spawned)
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte budget: a plain integer or ``100k`` / ``64m`` / ``2g``
+    (binary multiples)."""
+    from ..store import parse_bytes as _parse
+    try:
+        return _parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from ..store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "gc":
+        before = store.stats()
+        evicted = store.evict_to(args.max_bytes)
+        after = store.size_bytes()
+        print(f"evicted {evicted} of {before['entries_total']} records: "
+              f"{before['bytes_total']} -> {after} bytes "
+              f"(budget {args.max_bytes})")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"verified {report['checked']} records under {store.root}/: "
+              f"{report['ok']} ok, {report['quarantined']} quarantined")
+        return 1 if report["quarantined"] else 0
+    # stats
+    stats = store.stats()
+    if args.json:
+        json.dump(stats, sys.stdout, indent=1)
+        print()
+        return 0
+    print(f"store root: {stats['root']}")
+    rows = [{"namespace": ns, **counts}
+            for ns, counts in sorted(stats["namespaces"].items())]
+    if rows:
+        print(rows_to_table(rows, title=f"{stats['entries_total']} records, "
+                                        f"{stats['bytes_total']} bytes"))
+    else:
+        print("empty (no namespaces yet)")
+    if stats["corrupt_quarantined_files"]:
+        print(f"{stats['corrupt_quarantined_files']} quarantined "
+              f"*.json.corrupt files on disk")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -414,6 +470,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="only this scenario (default: everything cached)")
     _add_cache_flags(p_report)
     p_report.set_defaults(func=cmd_report)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/maintain the persistent result store "
+                      "(stats, gc to a byte budget, checksum verify)")
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="per-namespace entry/byte counts of the store")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the raw stats payload as JSON")
+    _add_cache_flags(p_stats)
+    p_stats.set_defaults(func=cmd_cache, action="stats")
+    p_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used records down to a byte budget")
+    p_gc.add_argument("--max-bytes", type=parse_bytes, required=True,
+                      metavar="BYTES",
+                      help="target size; accepts suffixes k/m/g (binary)")
+    _add_cache_flags(p_gc)
+    p_gc.set_defaults(func=cmd_cache, action="gc")
+    p_verify = cache_sub.add_parser(
+        "verify", help="re-check every record's content checksum; "
+                       "mismatches are quarantined (exit 1 if any)")
+    _add_cache_flags(p_verify)
+    p_verify.set_defaults(func=cmd_cache, action="verify")
     return parser
 
 

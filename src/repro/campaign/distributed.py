@@ -790,6 +790,7 @@ def _child_env() -> dict[str, str]:
 
 
 def spawn_local_workers(count: int, *, startup_timeout: float = 30.0,
+                        store_dir: str | os.PathLike | None = None,
                         extra_args: Sequence[str] = ()) -> list[SpawnedWorker]:
     """Fork ``count`` local serve workers on ephemeral ports.
 
@@ -797,13 +798,23 @@ def spawn_local_workers(count: int, *, startup_timeout: float = 30.0,
     returns only once every worker answered ``/healthz``.  On any startup
     failure the already-spawned workers are stopped before the error
     propagates.
+
+    ``store_dir`` points every worker at one shared persistent result
+    store, so a solve computed by any worker warms the whole pool (and the
+    coordinator's own cache root, when they are the same directory).  The
+    default is ``--no-store``: short-lived test/benchmark workers must not
+    grow a ``.repro-cache/`` in whatever directory they inherit.
     """
+    if store_dir is not None:
+        store_args: tuple[str, ...] = ("--store-dir", str(store_dir))
+    else:
+        store_args = ("--no-store",)
     workers: list[SpawnedWorker] = []
     try:
         for _ in range(count):
             process = subprocess.Popen(
                 [sys.executable, "-m", "repro", "serve", "--port", "0",
-                 *extra_args],
+                 *store_args, *extra_args],
                 stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
                 text=True, env=_child_env())
             port = _read_banner_port(process, startup_timeout)

@@ -1,0 +1,31 @@
+"""Persistent shared result-store tier.
+
+The durable layer under both hot-path caches: the campaign cache
+(:mod:`repro.campaign.cache`) adapts it, the API engine
+(:mod:`repro.api.engine`) writes through to it, server workers and
+distributed campaign workers share one on-disk tree.  See DESIGN.md for the
+layer diagram.
+"""
+
+from .canonical import canonical_blob, canonicalize, content_checksum
+from .coalesce import Coalescer, Flight
+from .result_store import (
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    StoreError,
+    parse_bytes,
+    resolve_store_root,
+)
+
+__all__ = [
+    "ResultStore",
+    "StoreError",
+    "Coalescer",
+    "Flight",
+    "canonicalize",
+    "canonical_blob",
+    "content_checksum",
+    "parse_bytes",
+    "resolve_store_root",
+    "DEFAULT_STORE_DIR",
+]

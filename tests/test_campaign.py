@@ -380,7 +380,7 @@ class TestCacheRobustness:
         cache = ResultCache(tmp_path / "cache")
         run_campaign(smoke_instances(("e1-fork-closed-form",)), cache=cache)
         bad = cache.path_for("0" * 64)
-        cache.root.mkdir(exist_ok=True)
+        bad.parent.mkdir(parents=True, exist_ok=True)
         bad.write_bytes(b"\xff\xfe not json")
         good = list(cache.records())
         assert len(good) == 1
@@ -402,10 +402,15 @@ class TestCacheRobustness:
             proc.join(timeout=60)
             assert proc.exitcode == 0
         # tmp.replace() is atomic: whatever interleaving happened, the final
-        # file is one writer's payload in full, and no temp files survive.
-        final = json.loads(ResultCache(root).path_for(key).read_text())
-        assert final in payloads
-        assert list(root.glob("*.tmp-*")) == []
+        # file is one writer's payload in full (envelope checksum intact),
+        # and no temp files survive.
+        survivor = ResultCache(root)
+        assert survivor.get(key) in payloads
+        raw = json.loads(survivor.path_for(key).read_text())
+        assert raw["payload"] in payloads
+        assert survivor.store.verify() == {"checked": 1, "ok": 1,
+                                           "quarantined": 0}
+        assert list(root.rglob("*.tmp-*")) == []
 
 
 # ----------------------------------------------------------------------

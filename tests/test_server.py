@@ -11,6 +11,8 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -296,3 +298,267 @@ class TestHardening:
             assert srv.handler_timeout is None
         finally:
             srv.server_close()
+
+
+class TestDrain:
+    """Graceful shutdown: in-flight handlers finish inside the grace window."""
+
+    @pytest.fixture
+    def running(self):
+        srv = make_server(port=0, engine=Engine(max_tasks=16, max_batch=4))
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield srv
+        finally:
+            if not srv.draining:
+                srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+    @staticmethod
+    def _slow_health(srv, delay):
+        real = srv.service.engine.health
+
+        def slow():
+            time.sleep(delay)
+            return real()
+
+        srv.service.engine.health = slow
+
+    def test_worker_pid_header_is_stamped(self, server):
+        import os
+
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("X-Repro-Worker") == str(os.getpid())
+        finally:
+            conn.close()
+
+    def test_drain_waits_for_inflight_request(self, running):
+        import socket
+        import time as _time
+
+        self._slow_health(running, 0.6)
+        host, port = running.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            deadline = _time.monotonic() + 5
+            while running.inflight == 0:       # handler picked the request up
+                assert _time.monotonic() < deadline, "request never started"
+                _time.sleep(0.01)
+            t0 = _time.monotonic()
+            assert running.drain(grace=10.0) is True
+            # drain() blocked until the slow handler finished, and the
+            # client still got a full, well-formed response.
+            assert _time.monotonic() - t0 > 0.2
+            assert running.inflight == 0
+            sock.settimeout(10)
+            reply = b""
+            while b'"status": "ok"' not in reply and b'"status":"ok"' \
+                    not in reply:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+            head = reply.split(b"\r\n\r\n", 1)[0].lower()
+            assert b"200" in reply.split(b"\r\n", 1)[0]
+            # Draining responses tell the client not to reuse the socket.
+            assert b"connection: close" in head
+        finally:
+            sock.close()
+
+    def test_drain_gives_up_after_grace(self, running):
+        import socket
+        import time as _time
+
+        self._slow_health(running, 2.0)
+        host, port = running.server_address[:2]
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            deadline = _time.monotonic() + 5
+            while running.inflight == 0:
+                assert _time.monotonic() < deadline, "request never started"
+                _time.sleep(0.01)
+            assert running.drain(grace=0.1) is False
+            # The straggler still completes (daemon handler thread).
+            deadline = _time.monotonic() + 10
+            while running.inflight > 0 and _time.monotonic() < deadline:
+                _time.sleep(0.05)
+            assert running.inflight == 0
+        finally:
+            sock.close()
+
+    def test_drain_is_immediate_when_idle(self, running):
+        t0 = time.perf_counter()
+        assert running.drain(grace=5.0) is True
+        assert time.perf_counter() - t0 < 2.0
+
+
+class TestFleet:
+    """SO_REUSEPORT port sharing and the pass-through proxy fallback."""
+
+    def test_reuse_port_servers_share_one_port(self):
+        import socket
+
+        from repro.api.server import reuse_port_supported
+        if not reuse_port_supported():
+            pytest.skip("SO_REUSEPORT unavailable on this platform")
+        first = make_server(port=0, reuse_port=True)
+        port = first.server_address[1]
+        second = make_server(port=port, reuse_port=True)
+        threads = []
+        try:
+            for srv in (first, second):
+                t = threading.Thread(target=srv.serve_forever, daemon=True)
+                t.start()
+                threads.append((srv, t))
+            status, payload = _request(first, "GET", "/healthz")
+            assert status == 200 and payload["status"] == "ok"
+        finally:
+            for srv, t in threads:
+                srv.shutdown()
+            for srv in (first, second):
+                srv.server_close()
+            for _, t in threads:
+                t.join(timeout=5)
+
+    def test_reuse_port_without_kernel_support_raises(self, monkeypatch):
+        import socket
+
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        with pytest.raises(OSError):
+            make_server(port=0, reuse_port=True)
+
+    @pytest.fixture
+    def two_backends(self):
+        servers = [make_server(port=0, engine=Engine(max_tasks=16))
+                   for _ in range(2)]
+        threads = []
+        for srv in servers:
+            t = threading.Thread(target=srv.serve_forever, daemon=True)
+            t.start()
+            threads.append(t)
+        try:
+            yield servers
+        finally:
+            for srv in servers:
+                srv.shutdown()
+                srv.server_close()
+            for t in threads:
+                t.join(timeout=5)
+
+    @staticmethod
+    def _via(address, path="/healthz"):
+        host, port = address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_proxy_round_robins_whole_connections(self, two_backends):
+        from repro.api.server import _PassThroughProxy
+
+        backends = [srv.server_address[:2] for srv in two_backends]
+        proxy = _PassThroughProxy("127.0.0.1", 0, backends)
+        proxy.start()
+        try:
+            for _ in range(4):
+                status, payload = self._via(proxy.address)
+                assert status == 200 and payload["status"] == "ok"
+        finally:
+            proxy.stop()
+        counts = [srv.service.engine.metrics()["requests_total"]
+                  for srv in two_backends]
+        assert sum(counts) == 4
+        assert all(count == 2 for count in counts)   # strict round-robin
+
+    def test_proxy_skips_dead_backends(self, two_backends):
+        import socket
+
+        from repro.api.server import _PassThroughProxy
+
+        # A port that nothing listens on: bind-then-close reserves a number
+        # that is very unlikely to be re-bound within the test.
+        with socket.create_server(("127.0.0.1", 0)) as placeholder:
+            dead = placeholder.getsockname()[:2]
+        live = two_backends[0].server_address[:2]
+        proxy = _PassThroughProxy("127.0.0.1", 0, [dead, live])
+        proxy.start()
+        try:
+            for _ in range(3):
+                status, payload = self._via(proxy.address)
+                assert status == 200 and payload["status"] == "ok"
+        finally:
+            proxy.stop()
+
+
+class TestFleetProcess:
+    """End-to-end: ``python -m repro serve --workers 2`` as a subprocess."""
+
+    def test_two_workers_share_port_and_store_then_drain(self, tmp_path):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+             "--port", "0", "--workers", "2", "--max-tasks", "16",
+             "--store-dir", str(tmp_path / "store"), "--drain-grace", "5"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        banner = re.compile(r"fleet listening on http://([\w.\-]+):(\d+)")
+        try:
+            deadline = time.monotonic() + 60
+            match = None
+            lines = []
+            while match is None:
+                assert time.monotonic() < deadline, "".join(lines)
+                line = proc.stdout.readline()
+                assert line, "fleet exited early:\n" + "".join(lines)
+                lines.append(line)
+                match = banner.search(line)
+            host, port = match.group(1), int(match.group(2))
+
+            def healthz():
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                try:
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    payload = json.loads(response.read())
+                    return response.status, payload, \
+                        response.getheader("X-Repro-Worker")
+                finally:
+                    conn.close()
+
+            pids = set()
+            deadline = time.monotonic() + 30
+            while len(pids) < 2 and time.monotonic() < deadline:
+                status, payload, worker = healthz()
+                assert status == 200 and payload["status"] == "ok"
+                assert worker == str(payload["pid"])
+                pids.add(worker)
+            # Both workers answer on the one advertised port.
+            assert len(pids) == 2, f"only saw workers {pids}"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0, out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
