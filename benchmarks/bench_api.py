@@ -42,6 +42,15 @@ CACHE_SPEEDUP_BAR = 10.0
 NUM_INSTANCES = int(os.environ.get("REPRO_BENCH_API_INSTANCES", "24"))
 SERVE_REQUESTS = int(os.environ.get("REPRO_BENCH_API_REQUESTS", "200"))
 
+#: Columnar solve-batch size (the PR 8 acceptance measurement).
+COLUMNAR_INSTANCES = int(os.environ.get("REPRO_BENCH_API_COLUMNAR_INSTANCES",
+                                        "10000"))
+#: Per-instance wire throughput of the pre-columnar pipeline, as recorded
+#: in BENCH_api.json by the API PR (serve.batch_instances_per_second).
+WIRE_BASELINE_IPS = 1760.0
+#: The columnar path must beat that baseline by at least this factor.
+COLUMNAR_SPEEDUP_BAR = 10.0
+
 
 def _instances():
     """TRI-CRIT chains: each cold solve runs the subset-enumeration solver,
@@ -144,3 +153,109 @@ def test_engine_cache_speedup_and_serve_throughput(run_once):
     assert speedup_wire >= CACHE_SPEEDUP_BAR, (
         f"wire-payload cached solves only {speedup_wire:.1f}x faster than "
         f"cold (bar: {CACHE_SPEEDUP_BAR}x)")
+
+
+def test_columnar_batch_throughput(run_once):
+    """10k-instance ``POST /v1/solve-batch`` through the columnar pipeline.
+
+    The PR 8 acceptance measurement: wire JSON is parsed straight into a
+    :class:`~repro.core.columnar.ProblemBatch`, cache keys come from the
+    vectorized template hasher, and the chain closed form runs over ragged
+    arrays -- no per-instance ``Problem`` objects anywhere on the all-miss
+    path.  The per-instance throughput must beat the pre-columnar wire
+    baseline (~{:.0f} instances/s) by >= {:.0f}x.
+    """.format(WIRE_BASELINE_IPS, COLUMNAR_SPEEDUP_BAR)
+    from repro.campaign.sweep import expand_problem_batch
+
+    slacks = [1.2, 1.6, 2.0, 2.4]
+    batch = expand_problem_batch({
+        "structure": "chain",
+        "grid": {"num_tasks": [4], "slack": slacks},
+        "params": {"weight_decimals": 4},
+        "seeds": max(1, COLUMNAR_INSTANCES // len(slacks)),
+        "base_seed": 59})
+    payloads = list(batch.payloads)[:COLUMNAR_INSTANCES]
+
+    # Service caps off: this is a capacity measurement, not an admission
+    # test.  The cache must hold the whole batch so the warm replay below
+    # measures the masked peel, not LRU eviction.
+    engine = Engine(max_batch=None, cache_size=len(payloads) + 16)
+    server = make_server(port=0, engine=engine,
+                         max_body_bytes=64 * 1024 * 1024)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=300)
+        body = json.dumps({"problems": payloads}).encode("utf-8")
+
+        # Steady-state measurement: a disjoint warmup batch takes the
+        # one-time process costs (bytecode, allocator growth, template
+        # caches) off the timed run, mirroring how the wire baseline was
+        # measured after 200 prior requests.
+        warmup = expand_problem_batch({
+            "structure": "chain", "grid": {"num_tasks": [4]},
+            "params": {"weight_decimals": 4},
+            "seeds": max(1, min(1000, COLUMNAR_INSTANCES // 10)),
+            "base_seed": 104729})
+        warm_body = json.dumps(
+            {"problems": list(warmup.payloads)}).encode("utf-8")
+        conn.request("POST", "/v1/solve-batch", body=warm_body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 200
+        response.read()
+
+        # The clock stops when the last response byte is delivered -- the
+        # service is done at that point; decoding the payload is client
+        # work and is asserted outside the timed window.
+        t0 = time.perf_counter()
+        conn.request("POST", "/v1/solve-batch", body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 200
+        cold_bytes = response.read()
+        cold_seconds = time.perf_counter() - t0
+        cold_payload = json.loads(cold_bytes.decode("utf-8"))
+        assert cold_payload["count"] == len(payloads)
+        assert cold_payload["cached_count"] == 0
+
+        t0 = time.perf_counter()
+        conn.request("POST", "/v1/solve-batch", body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 200
+        warm_bytes = response.read()
+        warm_seconds = time.perf_counter() - t0
+        warm_payload = json.loads(warm_bytes.decode("utf-8"))
+        assert warm_payload["cached_count"] == len(payloads)
+        conn.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    cold_ips = len(payloads) / cold_seconds
+    warm_ips = len(payloads) / warm_seconds
+
+    record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    record["columnar_batch"] = {
+        "instances": len(payloads),
+        "cold_seconds": cold_seconds,
+        "cold_instances_per_second": cold_ips,
+        "cached_seconds": warm_seconds,
+        "cached_instances_per_second": warm_ips,
+        "wire_baseline_instances_per_second": WIRE_BASELINE_IPS,
+        "speedup_over_wire_baseline": cold_ips / WIRE_BASELINE_IPS,
+        "speedup_bar": COLUMNAR_SPEEDUP_BAR,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[bench_api] columnar solve-batch: {len(payloads)} instances in "
+          f"{cold_seconds:.3f}s cold ({cold_ips:.0f}/s, "
+          f"{cold_ips / WIRE_BASELINE_IPS:.1f}x wire baseline), "
+          f"{warm_seconds:.3f}s warm ({warm_ips:.0f}/s) -> {BENCH_PATH.name}")
+
+    assert cold_ips >= COLUMNAR_SPEEDUP_BAR * WIRE_BASELINE_IPS, (
+        f"columnar wire path at {cold_ips:.0f} instances/s is only "
+        f"{cold_ips / WIRE_BASELINE_IPS:.1f}x the {WIRE_BASELINE_IPS:.0f}/s "
+        f"baseline (bar: {COLUMNAR_SPEEDUP_BAR:.0f}x)")

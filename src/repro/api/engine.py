@@ -49,6 +49,8 @@ from collections import Counter, OrderedDict, deque
 from collections.abc import Mapping, Sequence
 from typing import Any
 
+from ..core.columnar import _KEY_ATTR, ProblemBatch, problem_content_key
+from ..core.gcscope import paused_gc
 from ..core.problems import BiCritProblem, SolveResult
 from ..core.schedule import Execution, Schedule, TaskDecision
 from ..simulation import run_monte_carlo
@@ -105,26 +107,10 @@ _RESULT_SCHEMA_VERSION = 1
 #: outlives this has effectively hung).
 DEFAULT_COALESCE_TIMEOUT = 600.0
 
-#: Attribute memoizing the content hash on the (frozen) problem object,
-#: mirroring how ``SolverContext.for_problem`` memoizes the context.
-_KEY_ATTR = "_api_content_key"
-
-
-def problem_content_key(problem: BiCritProblem) -> str:
-    """Stable content hash of a problem instance (its JSON schema form).
-
-    The hash is memoized on the problem object, so in-process consumers that
-    resubmit the same instance (ablation grids, Pareto sweeps) pay the
-    serialisation exactly once -- the same trick
-    :meth:`~repro.solvers.context.SolverContext.for_problem` uses.
-    """
-    key = getattr(problem, _KEY_ATTR, None)
-    if key is None:
-        from ..core.problem_io import problem_to_dict
-
-        key = hashlib.sha256(_canonical_blob(problem_to_dict(problem))).hexdigest()
-        object.__setattr__(problem, _KEY_ATTR, key)
-    return key
+# ``problem_content_key`` (and its ``_KEY_ATTR`` memo attribute) now live in
+# ``repro.core.columnar`` so the columnar key templates and this scalar path
+# share one definition without a core -> api import; both names are
+# re-exported above unchanged for existing consumers.
 
 
 class _LRU:
@@ -246,23 +232,41 @@ class Engine:
             except KeyError as exc:
                 raise ApiError(UNKNOWN_SOLVER, str(exc.args[0])) from exc
 
-    def _request_key(self, problem: BiCritProblem, solver: str,
-                     options: Mapping[str, Any]) -> str:
+    def _options_blob(self, solver: str,
+                      options: Mapping[str, Any]) -> bytes:
         from .. import __version__
 
         try:
             # The version tag makes keys library-version-scoped: now that
             # results persist across processes, a record written by an older
             # repro (or an older payload schema) must miss, not deserialise.
-            blob = _canonical_blob({
+            return _canonical_blob({
                 "solver": solver, "options": dict(options),
                 "version": f"repro-{__version__}/"
                            f"result-schema-{_RESULT_SCHEMA_VERSION}"})
         except TypeError as exc:
             raise ApiError(INVALID_REQUEST,
                            f"options are not JSON-canonicalisable: {exc}") from exc
+
+    def _request_key(self, problem: BiCritProblem, solver: str,
+                     options: Mapping[str, Any]) -> str:
+        blob = self._options_blob(solver, options)
         return hashlib.sha256(
             (problem_content_key(problem) + "|").encode("utf-8") + blob).hexdigest()
+
+    def _batch_request_keys(self, content_keys: Sequence[str], solver: str,
+                            options: Mapping[str, Any]) -> list[str]:
+        """Request keys for a whole batch in one canonicalisation pass.
+
+        The solver/options/version blob is identical for every row of a
+        batch, so it is serialised once and fused with each row's content
+        hash -- instead of one ``json.dumps`` per instance as the scalar
+        :meth:`_request_key` path would do.  Keys are byte-identical to the
+        scalar path by construction (same blob, same fuse).
+        """
+        blob = self._options_blob(solver, options)
+        return [hashlib.sha256((ck + "|").encode("utf-8") + blob).hexdigest()
+                for ck in content_keys]
 
     # ------------------------------------------------------------------
     # object layer (internal consumers: experiments, campaign, benchmarks)
@@ -458,7 +462,8 @@ class Engine:
             raise ApiError(INVALID_REQUEST,
                            "contexts must match problems one-to-one")
 
-        keys = [self._request_key(p, solver, options) for p in resolved]
+        keys = self._batch_request_keys(
+            [problem_content_key(p) for p in resolved], solver, options)
         out: list[tuple[SolveResult, bool] | None] = [None] * len(resolved)
         misses: list[int] = []
         for i, key in enumerate(keys):
@@ -493,6 +498,24 @@ class Engine:
     # ------------------------------------------------------------------
     def _build_response(self, result: SolveResult, *, cached: bool,
                         elapsed_ms: float) -> SolveResponse:
+        view = getattr(result, "wire_view", None)
+        if view is not None:
+            # Columnar results carry their wire fields precomputed, so the
+            # response never touches ``result.schedule`` (which would force
+            # per-task object materialization on the zero-copy path).  The
+            # dispatch record is already in canonical plain-typed form
+            # (``canonicalize`` preserves insertion order, so re-running it
+            # would return an equal dict).
+            dispatch = view.get("dispatch")
+            if dispatch is None:
+                dispatch = canonicalize(result.metadata.get("dispatch", {}))
+            return SolveResponse(
+                energy=float(result.energy), status=result.status,
+                solver=result.solver, feasible=result.feasible,
+                makespan=view["makespan"], speeds=view["speeds"],
+                num_reexecuted=view["num_reexecuted"],
+                dispatch=dispatch,
+                cached=cached, elapsed_ms=elapsed_ms)
         schedule = result.schedule
         speeds: dict[str, list[float]] = {}
         makespan = None
@@ -525,8 +548,29 @@ class Engine:
         return self._build_response(result, cached=cached, elapsed_ms=elapsed_ms)
 
     def solve_batch(self, request: SolveBatchRequest) -> SolveBatchResponse:
-        """``POST /v1/solve-batch``: grouped vectorized evaluation."""
+        """``POST /v1/solve-batch``: grouped vectorized evaluation.
+
+        Wire payloads (all-``Mapping`` problem lists, or a request that
+        already carries a parsed :class:`ProblemBatch`) take the columnar
+        path: struct-of-arrays from JSON to kernel, no per-instance
+        ``Problem`` objects on the all-miss hot path.  Lists containing
+        in-process ``Problem`` objects keep the legacy object path.
+        """
         t0 = time.perf_counter()
+        batch = getattr(request, "batch", None)
+        if batch is None and request.problems and all(
+                isinstance(p, Mapping) for p in request.problems):
+            try:
+                batch = ProblemBatch.from_wire(request.problems)
+            except Exception:
+                # The object path owns the authoritative validation errors.
+                batch = None
+        if batch is not None:
+            # In-process consumers get the same GC relief as the HTTP
+            # server scope (nested pauses are depth-counted no-ops).
+            with paused_gc():
+                return self._solve_batch_columnar(batch, request.solver,
+                                                  dict(request.options), t0)
         try:
             pairs = self.submit_batch(request.problems, request.solver,
                                       options=request.options)
@@ -539,6 +583,89 @@ class Engine:
             self._build_response(result, cached=cached,
                                  elapsed_ms=0.0 if cached else per_miss_ms)
             for result, cached in pairs])
+
+    def _solve_batch_columnar(self, batch: ProblemBatch, solver: str,
+                              options: dict[str, Any],
+                              t0: float) -> SolveBatchResponse:
+        """Columnar ``/v1/solve-batch``: admission checks over columns,
+        masked cache peel, and the miss rows handed to the batch kernel as
+        a (sub-)``ProblemBatch`` -- semantics identical to the object path
+        (same admission order, same errors, same counters, same keys)."""
+        try:
+            n_rows = len(batch)
+            if self.max_batch is not None and n_rows > self.max_batch:
+                raise ApiError(SIZE_LIMIT,
+                               f"batch has {n_rows} instances, engine "
+                               f"limit is {self.max_batch}",
+                               detail={"instances": n_rows,
+                                       "max_batch": self.max_batch})
+            # Fallback rows (payloads the strict columnar parser declined)
+            # materialise through the interning resolver, in row order, so
+            # parse errors surface exactly where the object path raises
+            # them.  Fast rows already parsed strictly and cannot fail.
+            for i in batch.fallback_indices():
+                batch.set_problem(i, self.resolve_problem(batch.payloads[i]))
+            if self.max_tasks is not None:
+                fallback = batch.columns["fallback"]
+                num_tasks = batch.columns["num_tasks"]
+                if fallback.any() or (n_rows and
+                                      num_tasks.max() > self.max_tasks):
+                    # Row-order walk so the reported instance matches the
+                    # object path; skipped entirely on the all-fast,
+                    # all-within-limit common case.
+                    for i in range(n_rows):
+                        n = (batch.problem(i).graph.num_tasks if fallback[i]
+                             else int(num_tasks[i]))
+                        if n > self.max_tasks:
+                            raise ApiError(
+                                SIZE_LIMIT,
+                                f"instance has {n} tasks, engine limit is "
+                                f"{self.max_tasks}",
+                                detail={"tasks": n,
+                                        "max_tasks": self.max_tasks})
+            self._check_solver_name(solver)
+            keys = self._batch_request_keys(batch.content_keys(), solver,
+                                            options)
+            out: list[tuple[SolveResult, bool] | None] = [None] * n_rows
+            misses: list[int] = []
+            if self.store is None:
+                # LRU-only peel under one lock acquisition; never touches
+                # ``batch.problem(i)``, keeping the all-miss path zero-copy.
+                with self._lock:
+                    for i, key in enumerate(keys):
+                        hit = self._results.get(key)
+                        if hit is not None:
+                            self._counters["cache_hits"] += 1
+                            out[i] = (hit, True)
+                        else:
+                            misses.append(i)
+            else:
+                for i, key in enumerate(keys):
+                    hit = self._cache_lookup(key, batch.problem(i))
+                    if hit is not None:
+                        out[i] = (hit, True)
+                    else:
+                        misses.append(i)
+            with self._lock:
+                self._counters["cache_misses"] += len(misses)
+            if misses:
+                sub = batch if len(misses) == n_rows else batch.take(misses)
+                results = _kernel_solve_batch(sub, solver, **options)
+                with self._lock:
+                    for i, result in zip(misses, results):
+                        out[i] = (result, False)
+                        self._results.put(keys[i], result)
+                for i, result in zip(misses, results):
+                    self._store_put(keys[i], result)
+        except Exception as exc:
+            raise self._translate(exc) from exc
+        executed = len(misses)
+        per_miss_ms = ((time.perf_counter() - t0) * 1e3 / executed
+                       if executed else 0.0)
+        return SolveBatchResponse(results=[
+            self._build_response(pair[0], cached=pair[1],
+                                 elapsed_ms=0.0 if pair[1] else per_miss_ms)
+            for pair in out if pair is not None])
 
     def simulate(self, request: SimulateRequest) -> SimulateResponse:
         """``POST /v1/simulate``: solve, then Monte-Carlo the schedule."""

@@ -152,11 +152,19 @@ class SolveBatchRequest:
     Homogeneous groups (same structure x speed model x dispatched solver)
     are evaluated through the vectorized batch kernel automatically; the
     response preserves input order.
+
+    ``from_dict`` additionally parses the wire payloads straight into a
+    columnar :class:`~repro.core.columnar.ProblemBatch` (``batch``), so the
+    engine's zero-copy path starts from struct-of-arrays without a second
+    pass over the JSON.  The field is in-process only: it never appears on
+    the wire and requests constructed directly (e.g. with ``Problem``
+    objects) simply leave it ``None``.
     """
 
     problems: list[Any]
     solver: str = "auto"
     options: dict[str, Any] = field(default_factory=dict)
+    batch: Any = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         return {"problems": [_problem_wire_form(p) for p in self.problems],
@@ -171,11 +179,24 @@ class SolveBatchRequest:
         if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
             raise ApiError(INVALID_REQUEST,
                            "solve-batch request.problems must be a JSON array")
-        problems = [dict(_require_mapping(p, f"solve-batch request.problems[{i}]"))
+        problems = [p if type(p) is dict else
+                    dict(_require_mapping(p, f"solve-batch request.problems[{i}]"))
                     for i, p in enumerate(raw)]
+        batch = None
+        if problems:
+            from ..core.columnar import ProblemBatch
+
+            try:
+                batch = ProblemBatch.from_wire(problems)
+            except Exception:
+                # Parsing is best effort here: anything the columnar parser
+                # cannot digest falls back to the object path in the engine,
+                # which owns the authoritative validation errors.
+                batch = None
         return cls(problems=problems,
                    solver=_str_field(data, "solver", "auto", "solve-batch request"),
-                   options=_dict_field(data, "options", "solve-batch request"))
+                   options=_dict_field(data, "options", "solve-batch request"),
+                   batch=batch)
 
 
 @dataclass(frozen=True)
@@ -284,12 +305,17 @@ class SolveResponse:
     api_version: str = API_VERSION
 
     def to_dict(self) -> dict[str, Any]:
+        # ``speeds`` / ``dispatch`` are returned by reference, not copied:
+        # the engine builds them as plain dict/list JSON forms already, and
+        # this method sits on the serving hot path (10k-instance batch
+        # responses run it per row).  Treat the returned payload as
+        # read-only.
         return {"api_version": self.api_version, "energy": self.energy,
                 "status": self.status, "solver": self.solver,
                 "feasible": self.feasible, "makespan": self.makespan,
-                "speeds": {t: list(s) for t, s in self.speeds.items()},
+                "speeds": self.speeds,
                 "num_reexecuted": self.num_reexecuted,
-                "dispatch": dict(self.dispatch), "cached": self.cached,
+                "dispatch": self.dispatch, "cached": self.cached,
                 "elapsed_ms": self.elapsed_ms}
 
     @classmethod

@@ -35,6 +35,7 @@ from .registry import get_scenario, iter_scenarios
 from .spec import ScenarioInstance
 
 __all__ = ["expand_grid", "expand_entry", "expand_campaign",
+           "expand_problem_batch",
            "load_campaign_file", "all_scenarios_campaign"]
 
 
@@ -89,6 +90,110 @@ def expand_entry(entry: Mapping[str, Any], *, smoke: bool = False) -> list[Scena
             instances.append(spec.instance(overrides, smoke=smoke, seed=seed,
                                            label=" ".join(parts)))
     return instances
+
+
+def expand_problem_batch(entry: Mapping[str, Any]):
+    """Expand a problem-grid declaration straight into a columnar batch.
+
+    Where :func:`expand_entry` produces *scenario* instances (each of which
+    runs a whole experiment), this produces *problem* instances as one
+    :class:`~repro.core.columnar.ProblemBatch`: wire-schema payloads are
+    synthesised directly from the grid -- no per-instance ``Problem``
+    objects -- so a sweep can feed the zero-copy batch kernels or a
+    ``/v1/solve-batch`` request without a materialisation pass.  Entry form::
+
+        {"kind": "bicrit",            # or "tricrit" (chains only)
+         "structure": "chain",        # or "fork"
+         "grid": {"num_tasks": [4, 8], "slack": [1.2, 1.5]},
+         "params": {"fmin": 0.1, "fmax": 1.0, "alpha": 3.0},
+         "seeds": 3, "base_seed": 7}
+
+    Expansion order is deterministic (grid order with sorted keys, then
+    seed index, weights via
+    :func:`~repro.core.rng.spawn_child_seeds`-derived child seeds), so the
+    row order -- and hence every content key -- is stable across runs.
+    """
+    from ..core.columnar import ProblemBatch
+    from ..dag.generators import random_weights
+
+    known = {"kind", "structure", "grid", "params", "seeds", "base_seed"}
+    unknown = set(entry) - known
+    if unknown:
+        raise KeyError(f"unknown problem-batch entry key(s) {sorted(unknown)}; "
+                       f"known: {sorted(known)}")
+    kind = str(entry.get("kind", "bicrit"))
+    if kind not in ("bicrit", "tricrit"):
+        raise ValueError(f"kind must be 'bicrit' or 'tricrit', got {kind!r}")
+    structure = str(entry.get("structure", "chain"))
+    if structure not in ("chain", "fork"):
+        raise ValueError(f"structure must be 'chain' or 'fork', got {structure!r}")
+    if kind == "tricrit" and structure != "chain":
+        raise ValueError("tricrit problem grids support chains only")
+
+    params = dict(entry.get("params") or {})
+    fmin = float(params.get("fmin", 0.1))
+    fmax = float(params.get("fmax", 1.0))
+    alpha = float(params.get("alpha", 3.0))
+    static_power = float(params.get("static_power", 0.0))
+    low = float(params.get("weight_low", 1.0))
+    high = float(params.get("weight_high", 10.0))
+    # Optional weight rounding: full-precision doubles serialise to 17+
+    # significant digits, which dominates wire payload size (and JSON
+    # float-parse time) for large sweeps.
+    decimals = params.get("weight_decimals")
+
+    replicates = int(entry.get("seeds", 1) or 1)
+    base_seed = int(entry.get("base_seed", 0))
+    seeds = list(spawn_child_seeds(base_seed, replicates))
+
+    reliability = None
+    if kind == "tricrit":
+        reliability = {"fmin": fmin, "fmax": fmax,
+                       "lambda0": float(params.get("lambda0", 1e-4)),
+                       "sensitivity": float(params.get("sensitivity", 3.0)),
+                       "frel": float(params.get("frel", fmax))}
+
+    payloads: list[dict[str, Any]] = []
+    for combo in expand_grid(entry.get("grid")):
+        merged = {**params, **combo}
+        n = int(merged.get("num_tasks", 4))
+        if n < 1 or (structure == "fork" and n < 2):
+            raise ValueError(f"num_tasks={n} too small for a {structure}")
+        slack = float(merged.get("slack", 1.5))
+        for seed in seeds:
+            weights = [float(w) for w in random_weights(n, seed,
+                                                        low=low, high=high)]
+            if decimals is not None:
+                weights = [round(w, int(decimals)) for w in weights]
+            ids = [f"T{k}" for k in range(n)]
+            tasks = [{"id": t, "weight": w} for t, w in zip(ids, weights)]
+            if structure == "chain":
+                edges = [[ids[k], ids[k + 1]] for k in range(n - 1)]
+                mapping = [ids]
+                procs = 1
+                span = sum(weights)
+            else:
+                edges = [[ids[0], ids[k]] for k in range(1, n)]
+                mapping = [[t] for t in ids]
+                procs = n
+                span = weights[0] + max(weights[1:])
+            deadline = max(slack * span / fmax, 1e-6)
+            if decimals is not None:
+                deadline = max(round(deadline, int(decimals)), 1e-6)
+            payloads.append({
+                "format_version": 1, "kind": kind,
+                "deadline": deadline,
+                "graph": {"format_version": 1, "tasks": tasks, "edges": edges},
+                "mapping": mapping,
+                "platform": {
+                    "num_processors": procs,
+                    "speed_model": {"kind": "continuous",
+                                    "fmin": fmin, "fmax": fmax},
+                    "energy_model": {"exponent": alpha,
+                                     "static_power": static_power},
+                    "reliability_model": reliability},
+                **({"reliability_model": None} if kind == "tricrit" else {})})
+    return ProblemBatch.from_wire(payloads)
 
 
 def expand_campaign(campaign: Mapping[str, Any], *, smoke: bool = False) -> list[ScenarioInstance]:

@@ -1,0 +1,58 @@
+"""Scoped garbage-collection pause for allocation-heavy request handling.
+
+A 10k-instance ``/v1/solve-batch`` request allocates millions of small
+containers (parsed JSON, columnar rows, result records) that all survive
+until the response is serialised.  Threshold-driven generational GC rescans
+that growing live set dozens of times mid-request, which measures as ~40%
+of end-to-end latency.  Pausing automatic collection for the scope of one
+request and running a single young-generation sweep afterwards does the
+same reclamation work once, deterministically, after the response bytes
+are already on the wire.
+
+The pause is a global hint, not a correctness property: with several scopes
+active (threaded server), a depth counter keeps collection disabled until
+the last scope exits, and the previous enabled/disabled state is restored.
+If the host application runs with GC disabled already, the scope is a no-op.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import threading
+from collections.abc import Iterator
+
+__all__ = ["paused_gc"]
+
+_lock = threading.Lock()
+_depth = 0
+_was_enabled = False
+
+
+@contextlib.contextmanager
+def paused_gc(*, collect: bool = True) -> Iterator[None]:
+    """Disable automatic GC for the scope; optionally sweep gen-0 on exit.
+
+    ``collect=True`` (the default) runs ``gc.collect(0)`` when the last
+    nested scope exits: objects allocated while paused are all still in
+    generation 0 (promotion only happens at collection time), so one young
+    sweep reclaims the scope's garbage at a deterministic point instead of
+    wherever the next allocation lands.
+    """
+    global _depth, _was_enabled
+    with _lock:
+        _depth += 1
+        if _depth == 1:
+            _was_enabled = gc.isenabled()
+            if _was_enabled:
+                gc.disable()
+    try:
+        yield
+    finally:
+        with _lock:
+            _depth -= 1
+            resume = _depth == 0 and _was_enabled
+            if resume:
+                gc.enable()
+        if resume and collect:
+            gc.collect(0)

@@ -49,6 +49,7 @@ from typing import Any
 
 import numpy as np
 
+from ..core.columnar import KIND_BICRIT, KIND_TRICRIT, ProblemBatch
 from ..core.problems import BiCritProblem, SolveResult, TriCritProblem
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
@@ -63,6 +64,7 @@ __all__ = [
     "plan_batch",
     "BatchPlan",
     "BatchGroup",
+    "ColumnarBatchPlan",
     "LazyScheduleResult",
     "batch_reexecution_floors",
     "batch_is_feasible",
@@ -169,10 +171,21 @@ class _LazyDispatchMetadata(dict):
         return super().update(*args, **kwargs)
 
     def __reduce__(self):
-        # Pickle as a plain, fully materialised dict (the factory closure
-        # holding the context is not itself picklable).
-        self._materialise()
-        return (dict, (dict(self),))
+        # Preserve laziness across pickling: the base entries are read with
+        # C-level dict access (bypassing the materialising overrides) and the
+        # factory -- a picklable dataclass, not a closure -- rides along, so
+        # shipping results through the campaign process pool does not force
+        # the dispatch probes.
+        base = {k: dict.__getitem__(self, k) for k in dict.keys(self)}
+        if self._factory is None:
+            return (dict, (base,))
+        return (_rebuild_lazy_metadata, (base, self._factory))
+
+
+def _rebuild_lazy_metadata(base: dict, factory: Callable[[], dict]
+                           ) -> _LazyDispatchMetadata:
+    """Unpickling hook of :class:`_LazyDispatchMetadata` (kept lazy)."""
+    return _LazyDispatchMetadata(base, factory)
 
 
 class LazyScheduleResult(SolveResult):
@@ -237,6 +250,59 @@ class BatchPlan:
         counts: dict[str, int] = {}
         for group in self.groups:
             counts[group.kernel] = counts.get(group.kernel, 0) + len(group.indices)
+        return counts
+
+
+#: Route codes of :class:`ColumnarBatchPlan` -- one small int per row, so
+#: grouping a columnar batch is a masked scatter over the route column
+#: instead of per-instance Python probes.
+ROUTE_LEGACY = 0
+ROUTE_CHAIN = 1
+ROUTE_FORK = 2
+ROUTE_TRICRIT = 3
+
+_ROUTE_KERNELS = {
+    ROUTE_CHAIN: KERNEL_CHAIN,
+    ROUTE_FORK: KERNEL_FORK,
+    ROUTE_TRICRIT: KERNEL_TRICRIT_CHAIN,
+}
+
+#: Solvers with a fully columnar route; any other name sends every row
+#: through the legacy object path (which produces the exact scalar errors
+#: and results for solvers the array kernels do not implement).
+_COLUMNAR_SOLVERS = frozenset({"auto", "bicrit-closed-form",
+                               "tricrit-chain-exact"})
+
+
+@dataclass
+class ColumnarBatchPlan:
+    """How :func:`solve_batch` will evaluate one :class:`ProblemBatch`.
+
+    Fast rows (``routes != ROUTE_LEGACY``) are solved straight off the
+    columns without materialising ``Problem`` objects; legacy rows are
+    materialised and planned through the object-path :func:`plan_batch`,
+    preserving its validation errors and scalar fallbacks byte for byte.
+    """
+
+    solver: str
+    auto: bool
+    batch: ProblemBatch
+    routes: np.ndarray                       # int8 route code per row
+    legacy_indices: list[int]
+    legacy_problems: list[BiCritProblem]
+    legacy_contexts: list[SolverContext]
+    legacy_plan: BatchPlan | None
+
+    def kernel_counts(self) -> dict[str, int]:
+        """Instance count per kernel, columnar and legacy rows combined."""
+        counts: dict[str, int] = {}
+        for route, kernel in _ROUTE_KERNELS.items():
+            hits = int(np.count_nonzero(self.routes == route))
+            if hits:
+                counts[kernel] = hits
+        if self.legacy_plan is not None:
+            for kernel, n in self.legacy_plan.kernel_counts().items():
+                counts[kernel] = counts.get(kernel, 0) + n
         return counts
 
 
@@ -317,7 +383,16 @@ def plan_batch(problems: Sequence[BiCritProblem], solver: str = "auto", *,
     descriptor itself would).  ``vectorize=False`` forces every instance
     onto the scalar fallback (used when solver-specific options are passed,
     which the array kernels do not understand).
+
+    A :class:`~repro.core.columnar.ProblemBatch` may be passed instead of an
+    instance list; planning then happens directly on the columns (returning
+    a :class:`ColumnarBatchPlan`) and only fallback rows are materialised.
     """
+    if isinstance(problems, ProblemBatch):
+        if contexts is not None:
+            raise ValueError("contexts cannot be combined with a ProblemBatch")
+        return _plan_batch_columnar(problems, solver, validate=validate,
+                                    vectorize=vectorize)
     ctxs = list(contexts) if contexts is not None else \
         [SolverContext.for_problem(p) for p in problems]
     if len(ctxs) != len(problems):
@@ -361,6 +436,60 @@ def plan_batch(problems: Sequence[BiCritProblem], solver: str = "auto", *,
                      groups=groups)
 
 
+def _plan_batch_columnar(batch: ProblemBatch, solver: str, *,
+                         validate: bool = True,
+                         vectorize: bool = True) -> ColumnarBatchPlan:
+    """Route every batch row by masked column predicates, no object probes.
+
+    A fast route is only assigned when the columnar parser *verified* the
+    facts the scalar admissibility checks would probe (structure, mapping
+    shape, speed-model kind, size caps), so a fast row is admissible for its
+    kernel solver by construction; everything else -- unknown solvers,
+    non-canonical payloads, oversized instances, pre-built problems -- is
+    materialised and re-planned through the object path, inheriting its
+    exact errors and fallbacks.
+    """
+    cols = batch.columns
+    size = len(batch)
+    routes = np.full(size, ROUTE_LEGACY, dtype=np.int8)
+    auto = solver == "auto"
+    if vectorize and size and solver in _COLUMNAR_SOLVERS:
+        fast = ~cols["fallback"]
+        bicrit = fast & (cols["kind"] == KIND_BICRIT)
+        tricrit = fast & (cols["kind"] == KIND_TRICRIT)
+        if solver in ("auto", "bicrit-closed-form"):
+            # Serialized mappings take the chain closed form whatever the
+            # structure; the mapping-order guard keeps the makespan fold of
+            # the wire view identical to the scalar schedule walk.
+            chain = (bicrit & cols["single_processor"]
+                     & cols["mapping_in_order"])
+            fork = (bicrit & ~cols["single_processor"] & cols["is_fork"]
+                    & (cols["num_tasks"] > 1)
+                    & cols["one_task_per_processor"])
+            routes[chain] = ROUTE_CHAIN
+            routes[fork] = ROUTE_FORK
+        if solver in ("auto", "tricrit-chain-exact"):
+            tri = (tricrit & cols["single_processor"]
+                   & cols["mapping_in_order"]
+                   & (cols["num_tasks"] <= limits.CHAIN_EXACT_MAX_TASKS)
+                   & (cols["num_positive"] >= 1)
+                   & (cols["num_positive"] <= VECTOR_SUBSET_MAX_TASKS))
+            routes[tri] = ROUTE_TRICRIT
+    legacy_indices = [int(i) for i in np.flatnonzero(routes == ROUTE_LEGACY)]
+    legacy_problems = [batch.problem(i) for i in legacy_indices]
+    legacy_contexts = [SolverContext.for_problem(p) for p in legacy_problems]
+    legacy_plan = None
+    if legacy_indices:
+        legacy_plan = plan_batch(legacy_problems, solver,
+                                 contexts=legacy_contexts, validate=validate,
+                                 vectorize=vectorize)
+    return ColumnarBatchPlan(solver=solver, auto=auto, batch=batch,
+                             routes=routes, legacy_indices=legacy_indices,
+                             legacy_problems=legacy_problems,
+                             legacy_contexts=legacy_contexts,
+                             legacy_plan=legacy_plan)
+
+
 # ----------------------------------------------------------------------
 # the batch front door
 # ----------------------------------------------------------------------
@@ -383,7 +512,18 @@ def solve_batch(problems: Sequence[BiCritProblem], solver: str = "auto", *,
     other instance runs through the scalar dispatcher.  Solver-specific
     ``options`` force the scalar path for the whole batch (the kernels only
     implement the descriptor-default configurations).
+
+    A :class:`~repro.core.columnar.ProblemBatch` may be passed instead of an
+    instance list: fast rows are then solved straight off the ragged weight
+    arrays (zero per-instance ``Problem`` construction) and carry an eager
+    ``wire_view`` for the API layer, while fallback rows run through the
+    object path above.
     """
+    if isinstance(problems, ProblemBatch):
+        if contexts is not None:
+            raise ValueError("contexts cannot be combined with a ProblemBatch")
+        return _solve_batch_columnar(problems, solver, validate=validate,
+                                     plan=plan, **options)
     problems = list(problems)
     ctxs = list(contexts) if contexts is not None else \
         [SolverContext.for_problem(p) for p in problems]
@@ -417,11 +557,30 @@ def _dispatch_record(descriptor: Solver, ctx: SolverContext, auto: bool) -> dict
     }
 
 
+@dataclass
+class _DispatchRecordFactory:
+    """Picklable deferred ``metadata["dispatch"]`` record.
+
+    Captures the descriptor *name* and the problem instead of the live
+    descriptor/context pair, so lazy metadata survives pickling through the
+    campaign process pool; the context is re-memoized on the problem on
+    first access (in-process that returns the already-seeded context).
+    """
+
+    solver_name: str
+    auto: bool
+    problem: BiCritProblem
+
+    def __call__(self) -> dict:
+        ctx = SolverContext.for_problem(self.problem)
+        return _dispatch_record(get_solver(self.solver_name), ctx, self.auto)
+
+
 def _lazy_metadata(base: dict, descriptor: Solver, ctx: SolverContext,
                    auto: bool) -> _LazyDispatchMetadata:
     """Metadata carrying ``base`` plus a deferred scalar dispatch record."""
     return _LazyDispatchMetadata(
-        base, lambda: _dispatch_record(descriptor, ctx, auto))
+        base, _DispatchRecordFactory(descriptor.name, auto, ctx.problem))
 
 
 def _scalar_solve(problem: BiCritProblem, descriptor: Solver,
@@ -565,18 +724,37 @@ def batch_reexecution_floors(problems: Sequence[BiCritProblem], *,
 # ----------------------------------------------------------------------
 # kernel: single-processor CONTINUOUS chains (BI-CRIT closed form)
 # ----------------------------------------------------------------------
-def _chain_schedule_builder(problem: BiCritProblem, speed: float
-                            ) -> Callable[[], Schedule]:
-    def build() -> Schedule:
-        graph = problem.graph
-        fmax = problem.platform.fmax
+@dataclass
+class _ChainScheduleBuilder:
+    """Picklable deferred schedule for a chain closed-form row."""
+
+    problem: BiCritProblem
+    speed: float
+
+    def __call__(self) -> Schedule:
+        graph = self.problem.graph
+        fmax = self.problem.platform.fmax
         decisions = {
             t: TaskDecision.single(t, graph.weight(t),
-                                   speed if graph.weight(t) > 0 else fmax)
+                                   self.speed if graph.weight(t) > 0 else fmax)
             for t in graph.tasks()
         }
-        return Schedule(problem.mapping, problem.platform, decisions)
-    return build
+        return Schedule(self.problem.mapping, self.problem.platform, decisions)
+
+
+def _chain_core(totals: np.ndarray, deadlines: np.ndarray, fmin: np.ndarray,
+                fmax: np.ndarray, alpha: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The chain closed form as one array program over per-row columns.
+
+    Shared between the object-path group solver and the columnar kernel so
+    both produce bit-identical speeds/energies for the same rows.
+    """
+    raw_speed = totals / deadlines
+    infeasible = (totals > 0) & (raw_speed > fmax * (1.0 + 1e-12))
+    speed = np.maximum(raw_speed, fmin)
+    energy = totals * speed ** (alpha - 1.0)
+    return raw_speed, infeasible, speed, energy
 
 
 def _solve_chain_group(problems: list[BiCritProblem],
@@ -590,10 +768,8 @@ def _solve_chain_group(problems: list[BiCritProblem],
     alpha = np.array([problems[i].platform.energy_model.exponent
                       for i in indices])
 
-    raw_speed = totals / deadlines
-    infeasible = (totals > 0) & (raw_speed > fmax * (1.0 + 1e-12))
-    speed = np.maximum(raw_speed, fmin)
-    energy = totals * speed ** (alpha - 1.0)
+    raw_speed, infeasible, speed, energy = _chain_core(totals, deadlines,
+                                                       fmin, fmax, alpha)
 
     for row, i in enumerate(indices):
         if infeasible[row]:
@@ -610,7 +786,7 @@ def _solve_chain_group(problems: list[BiCritProblem],
         else:
             row_energy, row_speed = float(energy[row]), float(speed[row])
         results[i] = LazyScheduleResult(
-            builder=_chain_schedule_builder(problems[i], row_speed),
+            builder=_ChainScheduleBuilder(problems[i], row_speed),
             energy=row_energy, status="optimal",
             solver="continuous-closed-form[chain]",
             metadata=_lazy_metadata(
@@ -621,21 +797,64 @@ def _solve_chain_group(problems: list[BiCritProblem],
 # ----------------------------------------------------------------------
 # kernel: fully parallel CONTINUOUS forks (the paper's fork theorem)
 # ----------------------------------------------------------------------
-def _fork_schedule_builder(problem: BiCritProblem, source: TaskId,
-                           children: list[TaskId], source_speed: float,
-                           child_speeds: np.ndarray) -> Callable[[], Schedule]:
-    def build() -> Schedule:
-        graph = problem.graph
-        fmax = problem.platform.fmax
-        speeds = {source: source_speed}
-        speeds.update(zip(children, (float(f) for f in child_speeds)))
+@dataclass
+class _ForkScheduleBuilder:
+    """Picklable deferred schedule for a fork closed-form row."""
+
+    problem: BiCritProblem
+    source: TaskId
+    children: tuple[TaskId, ...]
+    source_speed: float
+    child_speeds: tuple[float, ...]
+
+    def __call__(self) -> Schedule:
+        graph = self.problem.graph
+        fmax = self.problem.platform.fmax
+        speeds = {self.source: self.source_speed}
+        speeds.update(zip(self.children, self.child_speeds))
         decisions = {}
         for t in graph.tasks():
             w = graph.weight(t)
             f = speeds[t] if w > 0 else fmax
             decisions[t] = TaskDecision.single(t, w, f if f > 0 else fmax)
-        return Schedule(problem.mapping, problem.platform, decisions)
-    return build
+        return Schedule(self.problem.mapping, self.problem.platform, decisions)
+
+
+def _fork_core(w0: np.ndarray, W: np.ndarray, deadlines: np.ndarray,
+               fmin: np.ndarray, fmax: np.ndarray, alpha: np.ndarray) -> tuple:
+    """The fork theorem (saturation cases included) over per-row columns.
+
+    ``W`` is the zero-padded ``(rows, max_children)`` child-weight matrix.
+    Shared between the object-path group solver and the columnar kernel so
+    both produce bit-identical speeds/energies for the same rows.
+    """
+    norm = np.sum(W ** alpha[:, None], axis=1) ** (1.0 / alpha)
+    f0 = (norm + w0) / deadlines
+    saturated = f0 > fmax * (1.0 + 1e-12)
+
+    source_blocks = saturated & (w0 / fmax >= deadlines)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d_prime = deadlines - w0 / fmax
+        sat_child = np.where(d_prime[:, None] > 0, W / d_prime[:, None], np.inf)
+        unsat_child = np.where(norm[:, None] > 0, f0[:, None] * W / norm[:, None], 0.0)
+    child_speed = np.where(saturated[:, None], sat_child, unsat_child)
+    child_speed[W == 0] = 0.0
+    source_speed = np.where(saturated, fmax, f0)
+
+    child_violation = saturated[:, None] & (child_speed > fmax[:, None] * (1.0 + 1e-12))
+    child_blocks = ~source_blocks & np.any(child_violation, axis=1)
+
+    # fmin clamping invalidates the algebraic formula; the scalar front-end
+    # falls through to the SP recursion / convex program there, so those
+    # rows take the per-instance path.
+    speeds_all = np.concatenate([source_speed[:, None], child_speed], axis=1)
+    clamped = np.any((speeds_all > 0) & (speeds_all < fmin[:, None] * (1.0 - 1e-12)),
+                     axis=1)
+
+    energy = (w0 * source_speed ** (alpha - 1.0)
+              + np.sum(W * child_speed ** (alpha[:, None] - 1.0), axis=1))
+    return (source_blocks, child_blocks, child_violation, clamped,
+            source_speed, child_speed, energy)
 
 
 def _solve_fork_group(problems: list[BiCritProblem],
@@ -665,31 +884,9 @@ def _solve_fork_group(problems: list[BiCritProblem],
     alpha = np.array([problems[i].platform.energy_model.exponent
                       for i in indices])
 
-    norm = np.sum(W ** alpha[:, None], axis=1) ** (1.0 / alpha)
-    f0 = (norm + w0) / deadlines
-    saturated = f0 > fmax * (1.0 + 1e-12)
-
-    source_blocks = saturated & (w0 / fmax >= deadlines)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        d_prime = deadlines - w0 / fmax
-        sat_child = np.where(d_prime[:, None] > 0, W / d_prime[:, None], np.inf)
-        unsat_child = np.where(norm[:, None] > 0, f0[:, None] * W / norm[:, None], 0.0)
-    child_speed = np.where(saturated[:, None], sat_child, unsat_child)
-    child_speed[W == 0] = 0.0
-    source_speed = np.where(saturated, fmax, f0)
-
-    child_violation = saturated[:, None] & (child_speed > fmax[:, None] * (1.0 + 1e-12))
-    child_blocks = ~source_blocks & np.any(child_violation, axis=1)
-
-    # fmin clamping invalidates the algebraic formula; the scalar front-end
-    # falls through to the SP recursion / convex program there, so those
-    # rows take the per-instance path.
-    speeds_all = np.concatenate([source_speed[:, None], child_speed], axis=1)
-    clamped = np.any((speeds_all > 0) & (speeds_all < fmin[:, None] * (1.0 - 1e-12)),
-                     axis=1)
-
-    energy = (w0 * source_speed ** (alpha - 1.0)
-              + np.sum(W * child_speed ** (alpha[:, None] - 1.0), axis=1))
+    (source_blocks, child_blocks, child_violation, clamped,
+     source_speed, child_speed, energy) = _fork_core(w0, W, deadlines,
+                                                     fmin, fmax, alpha)
 
     for row, i in enumerate(indices):
         if source_blocks[row]:
@@ -720,10 +917,11 @@ def _solve_fork_group(problems: list[BiCritProblem],
             continue
         row_energy = float(energy[row])
         results[i] = LazyScheduleResult(
-            builder=_fork_schedule_builder(
-                problems[i], sources[row], children[row],
+            builder=_ForkScheduleBuilder(
+                problems[i], sources[row], tuple(children[row]),
                 float(source_speed[row]),
-                child_speed[row, :len(children[row])]),
+                tuple(float(f) for f in
+                      child_speed[row, :len(children[row])])),
             energy=row_energy, status="optimal",
             solver="continuous-closed-form[fork]",
             metadata=_lazy_metadata(
@@ -751,25 +949,84 @@ def _subset_masks(n: int) -> np.ndarray:
     return rows
 
 
-def _tricrit_chain_schedule_builder(problem: BiCritProblem,
-                                    speeds: dict[TaskId, float],
-                                    reexecuted: frozenset[TaskId]
-                                    ) -> Callable[[], Schedule]:
-    def build() -> Schedule:
-        graph = problem.graph
-        fmax = problem.platform.fmax
+@dataclass
+class _TricritChainScheduleBuilder:
+    """Picklable deferred schedule for a TRI-CRIT chain subset row."""
+
+    problem: BiCritProblem
+    speeds: dict[TaskId, float]
+    reexecuted: frozenset[TaskId]
+
+    def __call__(self) -> Schedule:
+        graph = self.problem.graph
+        fmax = self.problem.platform.fmax
         decisions = {}
         for t in graph.tasks():
             w = graph.weight(t)
             if w <= 0:
                 decisions[t] = TaskDecision.single(t, w, fmax)
-            elif t in reexecuted:
-                f = speeds[t]
+            elif t in self.reexecuted:
+                f = self.speeds[t]
                 decisions[t] = TaskDecision.reexecuted(t, w, f, f)
             else:
-                decisions[t] = TaskDecision.single(t, w, speeds[t])
-        return Schedule(problem.mapping, problem.platform, decisions)
-    return build
+                decisions[t] = TaskDecision.single(t, w, self.speeds[t])
+        return Schedule(self.problem.mapping, self.problem.platform, decisions)
+
+
+def _tricrit_chain_core(W: np.ndarray, deadlines: np.ndarray,
+                        pfmin: np.ndarray, pfmax: np.ndarray,
+                        alpha: np.ndarray, reexec_floor: np.ndarray,
+                        frel: np.ndarray, masks: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The masked subset water-filling over a ``(B, S, n)`` tensor.
+
+    Shared between the object-path chunk solver and the columnar kernel so
+    both produce bit-identical durations/energies for the same rows.
+    Returns ``(eff, durations, energy)`` with ``energy`` already ``inf`` on
+    infeasible (instance, subset) rows.
+    """
+    B = W.shape[0]
+    S = masks.shape[0]
+    single_floor = np.maximum(frel, pfmin)
+
+    eff = W[:, None, :] * (1.0 + masks[None, :, :])              # (B, S, n)
+    floor = np.where(masks[None, :, :], reexec_floor[:, None, :],
+                     single_floor[:, None, None])
+    bad_floor = np.any(floor > pfmax[:, None, None] * (1.0 + 1e-12), axis=2)
+
+    lower = eff / pfmax[:, None, None]
+    upper = eff / floor
+    min_time = lower.sum(axis=2)
+    infeasible = bad_floor | (min_time > deadlines[:, None] * (1.0 + 1e-12))
+
+    # Vectorized water-filling: find t with sum(clip(t*eff, lower, upper))
+    # equal to the deadline (or saturate at the loose end), for every
+    # (instance, subset) row at once.
+    max_time = upper.sum(axis=2)
+    t_hi = (1.0 / floor).max(axis=2) + 1.0
+    t = np.where(max_time <= deadlines[:, None], t_hi, 0.0)
+    active = (~infeasible & (min_time < deadlines[:, None])
+              & (deadlines[:, None] < max_time))
+    if np.any(active):
+        lo_b = np.zeros((B, S))
+        hi_b = t_hi.copy()
+        for _ in range(200):
+            mid = 0.5 * (lo_b + hi_b)
+            total = np.clip(mid[:, :, None] * eff, lower, upper).sum(axis=2)
+            shrink = total >= deadlines[:, None]
+            hi_b = np.where(active & shrink, mid, hi_b)
+            lo_b = np.where(active & ~shrink, mid, lo_b)
+            if np.all(~active | (hi_b - lo_b
+                                 <= 1e-12 * np.maximum(1.0, np.abs(hi_b)))):
+                break
+        t = np.where(active, 0.5 * (lo_b + hi_b), t)
+
+    durations = np.clip(t[:, :, None] * eff, lower, upper)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        energy = np.sum(eff ** alpha[:, None, None]
+                        / durations ** (alpha[:, None, None] - 1.0), axis=2)
+    energy[infeasible] = np.inf
+    return eff, durations, energy
 
 
 def _solve_tricrit_chain_group(problems: list[BiCritProblem],
@@ -824,45 +1081,10 @@ def _tricrit_chain_chunk(problems: list[BiCritProblem],
     reexec_floor = np.array([[floors[row][t] for t in task_ids[row]]
                              for row in range(B)])
     frel = np.array([ctxs[i].reliability.frel for i in rows])
-    single_floor = np.maximum(frel, pfmin)
 
-    eff = W[:, None, :] * (1.0 + masks[None, :, :])              # (B, S, n)
-    floor = np.where(masks[None, :, :], reexec_floor[:, None, :],
-                     single_floor[:, None, None])
-    bad_floor = np.any(floor > pfmax[:, None, None] * (1.0 + 1e-12), axis=2)
-
-    lower = eff / pfmax[:, None, None]
-    upper = eff / floor
-    min_time = lower.sum(axis=2)
-    infeasible = bad_floor | (min_time > deadlines[:, None] * (1.0 + 1e-12))
-
-    # Vectorized water-filling: find t with sum(clip(t*eff, lower, upper))
-    # equal to the deadline (or saturate at the loose end), for every
-    # (instance, subset) row at once.
-    max_time = upper.sum(axis=2)
-    t_hi = (1.0 / floor).max(axis=2) + 1.0
-    t = np.where(max_time <= deadlines[:, None], t_hi, 0.0)
-    active = (~infeasible & (min_time < deadlines[:, None])
-              & (deadlines[:, None] < max_time))
-    if np.any(active):
-        lo_b = np.zeros((B, S))
-        hi_b = t_hi.copy()
-        for _ in range(200):
-            mid = 0.5 * (lo_b + hi_b)
-            total = np.clip(mid[:, :, None] * eff, lower, upper).sum(axis=2)
-            shrink = total >= deadlines[:, None]
-            hi_b = np.where(active & shrink, mid, hi_b)
-            lo_b = np.where(active & ~shrink, mid, lo_b)
-            if np.all(~active | (hi_b - lo_b
-                                 <= 1e-12 * np.maximum(1.0, np.abs(hi_b)))):
-                break
-        t = np.where(active, 0.5 * (lo_b + hi_b), t)
-
-    durations = np.clip(t[:, :, None] * eff, lower, upper)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        energy = np.sum(eff ** alpha[:, None, None]
-                        / durations ** (alpha[:, None, None] - 1.0), axis=2)
-    energy[infeasible] = np.inf
+    eff, durations, energy = _tricrit_chain_core(W, deadlines, pfmin, pfmax,
+                                                 alpha, reexec_floor, frel,
+                                                 masks)
 
     best = np.argmin(energy, axis=1)
     for row, i in enumerate(rows):
@@ -879,11 +1101,369 @@ def _tricrit_chain_chunk(problems: list[BiCritProblem],
         reexecuted = frozenset(t for col, t in enumerate(task_ids[row])
                                if masks[s, col])
         results[i] = LazyScheduleResult(
-            builder=_tricrit_chain_schedule_builder(problems[i], speeds,
-                                                    reexecuted),
+            builder=_TricritChainScheduleBuilder(problems[i], speeds,
+                                                 reexecuted),
             energy=float(energy[row, s]), status="optimal",
             solver="tricrit-chain-exact",
             metadata=_lazy_metadata(
                 {"reexecuted": sorted(map(str, reexecuted)),
                  "subsets_evaluated": S},
                 plan.descriptors[i], ctxs[i], plan.auto))
+
+
+# ----------------------------------------------------------------------
+# columnar kernels: ProblemBatch rows straight to the array programs
+# ----------------------------------------------------------------------
+@dataclass
+class _WireScheduleBuilder:
+    """Deferred schedule for a columnar fast row, built from its payload.
+
+    The wire response path reads ``result.wire_view`` and never touches
+    ``result.schedule``; only out-of-band consumers (the persistent result
+    store, direct library callers) pay for materialising the ``Problem``
+    here.  Picklable, so columnar results survive the campaign pool.
+    """
+
+    payload: Any
+    speeds: dict[str, list[float]]
+
+    def __call__(self) -> Schedule:
+        from ..core.problem_io import problem_from_dict
+        problem = problem_from_dict(self.payload)
+        graph = problem.graph
+        decisions = {}
+        for t in graph.tasks():
+            fs = self.speeds[t]
+            w = graph.weight(t)
+            if len(fs) == 2:
+                decisions[t] = TaskDecision.reexecuted(t, w, fs[0], fs[1])
+            else:
+                decisions[t] = TaskDecision.single(t, w, fs[0])
+        return Schedule(problem.mapping, problem.platform, decisions)
+
+
+def _columnar_dispatch(batch: ProblemBatch, i: int, solver_name: str,
+                       auto: bool) -> dict:
+    """The scalar ``metadata["dispatch"]`` record, built from columns only.
+
+    Key order and value types match ``_dispatch_record`` +
+    ``SolverContext.describe()`` exactly (both kernel solvers are exact and
+    CONTINUOUS; parser-verified rows are chains or forks, and the context's
+    structure label probes ``is_chain`` first).
+    """
+    cols = batch.columns
+    return {
+        "solver": solver_name,
+        "auto": auto,
+        "exactness": "exact",
+        "kind": "tricrit" if cols["kind"][i] == KIND_TRICRIT else "bicrit",
+        "speed_model": "continuous",
+        "structure": "chain" if cols["is_chain"][i] else "fork",
+        "tasks": int(cols["num_tasks"][i]),
+        "positive_tasks": int(cols["num_positive"][i]),
+        "processors": int(cols["mapping_processors"][i]),
+        "single_processor": bool(cols["single_processor"][i]),
+        "one_task_per_processor": bool(cols["one_task_per_processor"][i]),
+    }
+
+
+def _padded_weights(batch: ProblemBatch, rows: np.ndarray, *,
+                    skip_first: bool = False
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather ragged row weights into a zero-padded ``(rows, width)`` matrix.
+
+    One fancy-index over the flat weight array -- no per-row Python loop.
+    ``skip_first`` drops each row's first task (the fork source).
+    """
+    offsets = batch.offsets
+    counts = offsets[rows + 1] - offsets[rows]
+    if skip_first:
+        counts = counts - 1
+    width = int(counts.max()) if len(counts) else 0
+    col = np.arange(width, dtype=np.int64)
+    mask = col[None, :] < counts[:, None]
+    start = offsets[rows] + (1 if skip_first else 0)
+    flat = (start[:, None] + col[None, :])[mask]
+    out = np.zeros((len(rows), width))
+    out[mask] = batch.weights[flat]
+    return out, mask, counts
+
+
+def _solve_batch_columnar(batch: ProblemBatch, solver: str, *,
+                          validate: bool = True,
+                          plan: ColumnarBatchPlan | None = None,
+                          **options: Any) -> list[SolveResult]:
+    """Solve a :class:`ProblemBatch`: fast rows columnar, the rest legacy."""
+    if plan is None:
+        plan = _plan_batch_columnar(batch, solver, validate=validate,
+                                    vectorize=not options)
+    results: list[SolveResult | None] = [None] * len(batch)
+    if plan.legacy_indices:
+        legacy = solve_batch(plan.legacy_problems, solver,
+                             contexts=plan.legacy_contexts, validate=validate,
+                             plan=plan.legacy_plan, **options)
+        for i, result in zip(plan.legacy_indices, legacy):
+            results[i] = result
+    chain_rows = np.flatnonzero(plan.routes == ROUTE_CHAIN)
+    if len(chain_rows):
+        _solve_chain_columnar(batch, chain_rows, plan, results)
+    fork_rows = np.flatnonzero(plan.routes == ROUTE_FORK)
+    if len(fork_rows):
+        _solve_fork_columnar(batch, fork_rows, plan, results)
+    tri_rows = np.flatnonzero(plan.routes == ROUTE_TRICRIT)
+    if len(tri_rows):
+        _solve_tricrit_columnar(batch, tri_rows, plan, results)
+    return results  # type: ignore[return-value]
+
+
+def _solve_chain_columnar(batch: ProblemBatch, rows: np.ndarray,
+                          plan: ColumnarBatchPlan,
+                          results: list[SolveResult | None]) -> None:
+    """Chain closed form off the columns; same array program as the object path."""
+    cols = batch.columns
+    totals = cols["total_weight"][rows]
+    deadlines = cols["deadline"][rows]
+    fmin = cols["fmin"][rows]
+    fmax = cols["fmax"][rows]
+    alpha = cols["alpha"][rows]
+    raw_speed, infeasible, speed, energy = _chain_core(totals, deadlines,
+                                                       fmin, fmax, alpha)
+
+    # Wire-view makespans: the serialized schedule walk is a left-fold sum
+    # of task durations in mapping (== payload) order; cumsum reproduces
+    # that fold exactly (trailing zero-pad adds are exact).
+    W, _, _ = _padded_weights(batch, rows)
+    safe_speed = np.where(speed > 0, speed, 1.0)
+    durations = np.where(W > 0, W / safe_speed[:, None], 0.0)
+    makespans = np.cumsum(durations, axis=1)[:, -1]
+
+    # Bulk scalar extraction: `.tolist()` converts a whole column to native
+    # Python floats/bools in one C pass, where per-row `float(arr[row])`
+    # would pay the NumPy scalar-boxing tax 10k times over.
+    rows_l = rows.tolist()
+    infeasible_l = infeasible.tolist()
+    totals_l = totals.tolist()
+    energy_l = energy.tolist()
+    speed_l = speed.tolist()
+    fmax_l = fmax.tolist()
+    makespans_l = makespans.tolist()
+    weights_l = batch.weights.tolist()
+    offsets_l = batch.offsets.tolist()
+    task_ids = batch.task_ids
+    payloads = batch.payloads
+    # Identical rows get the *same* dispatch dict (read-only once emitted):
+    # a 10k-row sweep over one structure builds one record, not 10k.
+    dispatch_memo: dict[tuple[int, int], dict] = {}
+    num_positive_l = cols["num_positive"].tolist()
+    for row, i in enumerate(rows_l):
+        if infeasible_l[row]:
+            results[i] = SolveResult(
+                schedule=None, energy=math.inf, status="infeasible",
+                solver="continuous-closed-form[chain]",
+                metadata={
+                    "message": (f"chain needs speed {raw_speed[row]:.6g} > "
+                                f"fmax={fmax_l[row]:.6g} to meet the deadline"),
+                    "dispatch": _columnar_dispatch(batch, i,
+                                                   "bicrit-closed-form",
+                                                   plan.auto),
+                })
+            continue
+        if totals_l[row] == 0:
+            row_energy, row_speed = 0.0, 0.0
+        else:
+            row_energy, row_speed = energy_l[row], speed_l[row]
+        fmax_row = fmax_l[row]
+        o0 = offsets_l[i]
+        o1 = offsets_l[i + 1]
+        speeds = {t: [row_speed] if w > 0 else [fmax_row]
+                  for t, w in zip(task_ids[i], weights_l[o0:o1])}
+        # Chain-routed rows are bicrit, single-processor, in-order chains:
+        # (tasks, positive_tasks) pins down the whole dispatch record.
+        memo_key = (o1 - o0, num_positive_l[i])
+        dispatch = dispatch_memo.get(memo_key)
+        if dispatch is None:
+            dispatch = _columnar_dispatch(batch, i, "bicrit-closed-form",
+                                          plan.auto)
+            dispatch_memo[memo_key] = dispatch
+        result = LazyScheduleResult(
+            builder=_WireScheduleBuilder(payloads[i], speeds),
+            energy=row_energy, status="optimal",
+            solver="continuous-closed-form[chain]",
+            metadata={"route": "chain", "closed_form_energy": row_energy,
+                      "dispatch": dispatch})
+        result.wire_view = {"makespan": makespans_l[row],
+                            "speeds": speeds, "num_reexecuted": 0,
+                            "dispatch": dispatch}
+        results[i] = result
+
+
+def _solve_fork_columnar(batch: ProblemBatch, rows: np.ndarray,
+                         plan: ColumnarBatchPlan,
+                         results: list[SolveResult | None]) -> None:
+    """Fork theorem off the columns; same array program as the object path."""
+    cols = batch.columns
+    w0 = batch.weights[batch.offsets[rows]]
+    W, _, counts = _padded_weights(batch, rows, skip_first=True)
+    deadlines = cols["deadline"][rows]
+    fmin = cols["fmin"][rows]
+    fmax = cols["fmax"][rows]
+    alpha = cols["alpha"][rows]
+    (source_blocks, child_blocks, child_violation, clamped,
+     source_speed, child_speed, energy) = _fork_core(w0, W, deadlines,
+                                                     fmin, fmax, alpha)
+
+    # Wire-view makespans: every child finishes at fl(d_source + d_child);
+    # padded columns contribute d_source + 0.0, which mirrors the source's
+    # own finish time in the scalar max over all finishes.
+    safe_src = np.where(source_speed > 0, source_speed, 1.0)
+    src_dur = np.where(w0 > 0, w0 / safe_src, 0.0)
+    safe_child = np.where(child_speed > 0, child_speed, 1.0)
+    child_dur = np.where(W > 0, W / safe_child, 0.0)
+    makespans = (src_dur[:, None] + child_dur).max(axis=1)
+
+    for row, i in enumerate(rows):
+        i = int(i)
+        ids = batch.task_ids[i]
+        dispatch = _columnar_dispatch(batch, i, "bicrit-closed-form",
+                                      plan.auto)
+        if source_blocks[row]:
+            results[i] = SolveResult(
+                schedule=None, energy=math.inf, status="infeasible",
+                solver="continuous-closed-form[fork]",
+                metadata={"message": ("the source alone exceeds the deadline "
+                                      "at fmax; no solution"),
+                          "dispatch": dispatch})
+            continue
+        if child_blocks[row]:
+            col = int(np.argmax(child_violation[row]))
+            child = ids[1 + col]
+            results[i] = SolveResult(
+                schedule=None, energy=math.inf, status="infeasible",
+                solver="continuous-closed-form[fork]",
+                metadata={"message": (
+                    f"child {child!r} needs speed "
+                    f"{child_speed[row, col]:.6g} "
+                    f"> fmax={fmax[row]:.6g}; no solution"),
+                    "dispatch": dispatch})
+            continue
+        if clamped[row]:
+            # fmin-clamped rows leave the algebraic formula exactly like the
+            # object path: materialise and run the scalar front-end.
+            problem = batch.problem(i)
+            ctx = SolverContext.for_problem(problem)
+            results[i] = _scalar_solve(problem,
+                                       get_solver("bicrit-closed-form"),
+                                       ctx, auto=plan.auto, validate=True)
+            continue
+        row_energy = float(energy[row])
+        fmax_row = float(fmax[row])
+        n_children = int(counts[row])
+        speeds = {ids[0]: ([float(source_speed[row])] if w0[row] > 0
+                           else [fmax_row])}
+        for col in range(n_children):
+            w = W[row, col]
+            speeds[ids[1 + col]] = ([float(child_speed[row, col])] if w > 0
+                                    else [fmax_row])
+        result = LazyScheduleResult(
+            builder=_WireScheduleBuilder(batch.payloads[i], speeds),
+            energy=row_energy, status="optimal",
+            solver="continuous-closed-form[fork]",
+            metadata={"route": "fork", "closed_form_energy": row_energy,
+                      "dispatch": dispatch})
+        result.wire_view = {"makespan": float(makespans[row]),
+                            "speeds": speeds, "num_reexecuted": 0,
+                            "dispatch": dispatch}
+        results[i] = result
+
+
+def _solve_tricrit_columnar(batch: ProblemBatch, rows: np.ndarray,
+                            plan: ColumnarBatchPlan,
+                            results: list[SolveResult | None]) -> None:
+    """TRI-CRIT chain subsets off the columns, grouped and chunked by size."""
+    npos = batch.columns["num_positive"]
+    by_size: dict[int, list[int]] = {}
+    for i in rows:
+        by_size.setdefault(int(npos[i]), []).append(int(i))
+    for n, group in by_size.items():
+        chunk = max(1, _SUBSET_TENSOR_BUDGET // max(1, (2 ** n) * n))
+        for start in range(0, len(group), chunk):
+            _tricrit_columnar_chunk(batch, group[start:start + chunk], n,
+                                    plan, results)
+
+
+def _tricrit_columnar_chunk(batch: ProblemBatch, rows: list[int], n: int,
+                            plan: ColumnarBatchPlan,
+                            results: list[SolveResult | None]) -> None:
+    B = len(rows)
+    masks = _subset_masks(n)
+    S = masks.shape[0]
+    rows_a = np.asarray(rows, dtype=np.int64)
+    cols = batch.columns
+
+    # Positive weights in payload (== mapping) order.
+    W = np.empty((B, n))
+    for row, i in enumerate(rows):
+        weights = batch.row_weights(i)
+        W[row] = weights[weights > 0]
+
+    deadlines = cols["deadline"][rows_a]
+    pfmin = cols["fmin"][rows_a]
+    pfmax = cols["fmax"][rows_a]
+    alpha = cols["alpha"][rows_a]
+    frel = cols["rel_frel"][rows_a]
+
+    # Same vectorized reliability bisection as batch_reexecution_floors,
+    # fed from the reliability columns instead of context caches.
+    floors = _floor_array(W.reshape(-1),
+                          np.repeat(cols["rel_fmin"][rows_a], n),
+                          np.repeat(cols["rel_fmax"][rows_a], n),
+                          np.repeat(cols["rel_lambda0"][rows_a], n),
+                          np.repeat(cols["rel_sensitivity"][rows_a], n),
+                          np.repeat(frel, n))
+    floors = np.maximum(np.repeat(pfmin, n), floors)
+    reexec_floor = floors.reshape(B, n)
+
+    eff, durations, energy = _tricrit_chain_core(W, deadlines, pfmin, pfmax,
+                                                 alpha, reexec_floor, frel,
+                                                 masks)
+
+    best = np.argmin(energy, axis=1)
+    for row, i in enumerate(rows):
+        s = int(best[row])
+        dispatch = _columnar_dispatch(batch, i, "tricrit-chain-exact",
+                                      plan.auto)
+        if not np.isfinite(energy[row, s]):
+            results[i] = SolveResult(
+                schedule=None, energy=math.inf, status="infeasible",
+                solver="tricrit-chain-exact",
+                metadata={"subsets_evaluated": S, "dispatch": dispatch})
+            continue
+        f = eff[row, s] / durations[row, s]           # (n,) exec speeds
+        per_exec = W[row] / f
+        task_time = per_exec * (1.0 + masks[s])       # exact x2 on re-exec
+        makespan = float(np.cumsum(task_time)[-1])    # left fold, in order
+        fmax_row = float(pfmax[row])
+        speeds: dict[str, list[float]] = {}
+        reexec_names: list[str] = []
+        cursor = 0
+        for t, w in zip(batch.task_ids[i], batch.row_weights(i)):
+            if w > 0:
+                fv = float(f[cursor])
+                if masks[s, cursor]:
+                    speeds[t] = [fv, fv]
+                    reexec_names.append(t)
+                else:
+                    speeds[t] = [fv]
+                cursor += 1
+            else:
+                speeds[t] = [fmax_row]
+        result = LazyScheduleResult(
+            builder=_WireScheduleBuilder(batch.payloads[i], speeds),
+            energy=float(energy[row, s]), status="optimal",
+            solver="tricrit-chain-exact",
+            metadata={"reexecuted": sorted(reexec_names),
+                      "subsets_evaluated": S, "dispatch": dispatch})
+        result.wire_view = {"makespan": makespan, "speeds": speeds,
+                            "num_reexecuted": int(masks[s].sum()),
+                            "dispatch": dispatch}
+        results[i] = result
