@@ -217,7 +217,10 @@ class Engine:
     def _check_size(self, problem: BiCritProblem) -> None:
         if self.max_tasks is None:
             return
-        n = problem.graph.num_tasks
+        # The cap is a positive-weight task cap (zero-weight tasks cost the
+        # solvers nothing), counted exactly like every solver-side
+        # enumerative limit so admission and admissibility cannot disagree.
+        n = SolverContext.for_problem(problem).num_positive_tasks
         if n > self.max_tasks:
             raise ApiError(SIZE_LIMIT,
                            f"instance has {n} tasks, engine limit is "
@@ -607,15 +610,17 @@ class Engine:
                 batch.set_problem(i, self.resolve_problem(batch.payloads[i]))
             if self.max_tasks is not None:
                 fallback = batch.columns["fallback"]
-                num_tasks = batch.columns["num_tasks"]
+                num_positive = batch.columns["num_positive"]
                 if fallback.any() or (n_rows and
-                                      num_tasks.max() > self.max_tasks):
+                                      num_positive.max() > self.max_tasks):
                     # Row-order walk so the reported instance matches the
                     # object path; skipped entirely on the all-fast,
-                    # all-within-limit common case.
+                    # all-within-limit common case.  Positive-weight counting
+                    # mirrors the scalar ``_check_size``.
                     for i in range(n_rows):
-                        n = (batch.problem(i).graph.num_tasks if fallback[i]
-                             else int(num_tasks[i]))
+                        n = (SolverContext.for_problem(batch.problem(i))
+                             .num_positive_tasks if fallback[i]
+                             else int(num_positive[i]))
                         if n > self.max_tasks:
                             raise ApiError(
                                 SIZE_LIMIT,

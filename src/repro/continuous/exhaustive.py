@@ -19,9 +19,13 @@ from __future__ import annotations
 import itertools
 import math
 
-from ..core.problems import SolveResult, TriCritProblem
+from ..core.problems import InfeasibleProblemError, SolveResult, TriCritProblem
 from ..solvers.context import SolverContext
-from ..solvers.limits import BEST_KNOWN_EXHAUSTIVE_LIMIT, EXHAUSTIVE_SUBSET_MAX_TASKS
+from ..solvers.limits import (
+    BEST_KNOWN_EXHAUSTIVE_LIMIT,
+    BEST_KNOWN_PRUNED_LIMIT,
+    EXHAUSTIVE_SUBSET_MAX_TASKS,
+)
 from .heuristics import best_of_heuristics, solve_with_reexec_set
 
 __all__ = ["solve_tricrit_exhaustive", "best_known_tricrit"]
@@ -66,10 +70,30 @@ def solve_tricrit_exhaustive(problem: TriCritProblem, *,
 
 def best_known_tricrit(problem: TriCritProblem, *,
                        exhaustive_limit: int = BEST_KNOWN_EXHAUSTIVE_LIMIT,
+                       pruned_limit: int = BEST_KNOWN_PRUNED_LIMIT,
                        method: str = "auto") -> SolveResult:
-    """Best-known solution: exhaustive when small enough, heuristics otherwise."""
+    """Best-known solution: exhaustive, then pruned search, then heuristics.
+
+    Instances up to ``exhaustive_limit`` positive-weight tasks use the blind
+    subset enumeration, up to ``pruned_limit`` the branch-and-bound optimum
+    (same value, far cheaper), and beyond that the heuristic families.  An
+    infeasible instance raises
+    :class:`~repro.core.problems.InfeasibleProblemError` on every route, so
+    callers never mistake an infinite-energy record for a reference value.
+    """
     positive = [t for t in problem.graph.tasks() if problem.graph.weight(t) > 0]
     if len(positive) <= exhaustive_limit:
-        return solve_tricrit_exhaustive(problem, max_tasks=exhaustive_limit,
-                                        method=method)
-    return best_of_heuristics(problem, method=method)
+        result = solve_tricrit_exhaustive(problem, max_tasks=exhaustive_limit,
+                                          method=method)
+    elif len(positive) <= pruned_limit:
+        from ..solvers.pruned import solve_tricrit_pruned
+
+        result = solve_tricrit_pruned(problem, max_tasks=pruned_limit,
+                                      method=method)
+    else:
+        result = best_of_heuristics(problem, method=method)
+    if not result.feasible:
+        raise InfeasibleProblemError(
+            "no reliable schedule exists: the reliability floors do not fit "
+            f"the deadline {problem.deadline:.6g} even without re-execution")
+    return result

@@ -35,7 +35,7 @@ import math
 from dataclasses import dataclass
 from collections.abc import Iterable
 
-from ..core.problems import SolveResult, TriCritProblem
+from ..core.problems import InfeasibleProblemError, SolveResult, TriCritProblem
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
 from ..solvers.context import SolverContext
@@ -243,11 +243,22 @@ def heuristic_parallel_slack(problem: TriCritProblem, *, candidates_per_round: i
 
 def best_of_heuristics(problem: TriCritProblem, *, candidates_per_round: int = 3,
                        method: str = "auto") -> SolveResult:
-    """Take the best of the two families (the paper's recommended combination)."""
+    """Take the best of the two families (the paper's recommended combination).
+
+    Raises :class:`~repro.core.problems.InfeasibleProblemError` when neither
+    family finds any reliable schedule (every growth round infeasible): both
+    families start from the no-re-execution baseline and re-execution only
+    adds work, so in that case the instance itself is infeasible and callers
+    must see that -- not a silent infinite-energy record.
+    """
     a = heuristic_energy_gain(problem, candidates_per_round=candidates_per_round,
                               method=method)
     b = heuristic_parallel_slack(problem, candidates_per_round=candidates_per_round,
                                  method=method)
+    if not a.feasible and not b.feasible:
+        raise InfeasibleProblemError(
+            "no reliable schedule exists: the reliability floors do not fit "
+            f"the deadline {problem.deadline:.6g} even without re-execution")
     best = a if a.energy <= b.energy else b
     other = b if best is a else a
     result = SolveResult(schedule=best.schedule, energy=best.energy, status=best.status,

@@ -156,14 +156,17 @@ def solve_tricrit_chain_exact(problem: TriCritProblem, *,
     uses to exhibit the exponential growth.
     """
     ids, weights = _chain_instance(problem)
-    if len(ids) > max_tasks:
-        raise ValueError(
-            f"exact chain solver limited to {max_tasks} tasks (got {len(ids)}); "
-            "the subset enumeration is exponential"
-        )
     model = problem.reliability()
     platform = problem.platform
     positive_ids = [t for t, w in zip(ids, weights) if w > 0]
+    # Count positive-weight tasks only, like the descriptor admissibility
+    # check and every other enumerative guard: zero-weight tasks never enter
+    # the subset enumeration, so they must not count against its limit.
+    if len(positive_ids) > max_tasks:
+        raise ValueError(
+            f"exact chain solver limited to {max_tasks} tasks "
+            f"(got {len(positive_ids)}); the subset enumeration is exponential"
+        )
 
     best: ChainTriCritSolution | None = None
     evaluated = 0

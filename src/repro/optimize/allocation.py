@@ -134,6 +134,26 @@ def allocate_durations_with_bounds(weights, deadline: float, lower, upper, *,
                                 saturated_upper=np.zeros(n, dtype=bool),
                                 _weights=w)
 
+    # Degenerate brackets: when the lower bounds already consume the whole
+    # deadline (re-executions ate all the slack) or every bound is zero-width
+    # (``fmin == fmax`` chains), the feasible region is the single point
+    # ``d = lower`` -- return that fmax-saturated closed form directly
+    # instead of bisecting a zero-width bracket down to the tolerance floor.
+    zero_width = bool(np.all(upper[positive] <= lower[positive]
+                             * (1.0 + 1e-12) + 1e-300))
+    if zero_width or min_time >= deadline * (1.0 - 1e-12):
+        durations = np.where(positive, lower, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_task = np.where(
+                positive, w ** exponent / durations ** (exponent - 1.0), 0.0
+            )
+        return AllocationResult(
+            durations=durations, energy=float(np.sum(per_task)),
+            total_time=float(np.sum(durations)),
+            saturated_lower=positive.copy(),
+            saturated_upper=positive & (upper <= lower * (1.0 + 1e-12) + 1e-300),
+            _weights=w)
+
     # The unconstrained stationary point has d_i = t * w_i for a common
     # scale t; with bounds, d_i(t) = clip(t * w_i, lower_i, upper_i) and the
     # total duration is non-decreasing in t.  Find t so the durations use the

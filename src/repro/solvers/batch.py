@@ -53,7 +53,6 @@ from ..core.columnar import KIND_BICRIT, KIND_TRICRIT, ProblemBatch
 from ..core.problems import BiCritProblem, SolveResult, TriCritProblem
 from ..core.schedule import Schedule, TaskDecision
 from ..dag.taskgraph import TaskId
-from . import limits
 from .context import SolverContext, speed_model_kind
 from .descriptors import InadmissibleSolverError, Solver
 from .dispatch import select_solver
@@ -271,7 +270,7 @@ _ROUTE_KERNELS = {
 #: through the legacy object path (which produces the exact scalar errors
 #: and results for solvers the array kernels do not implement).
 _COLUMNAR_SOLVERS = frozenset({"auto", "bicrit-closed-form",
-                               "tricrit-chain-exact"})
+                               "tricrit-chain-exact", "tricrit-pruned"})
 
 
 @dataclass
@@ -357,13 +356,12 @@ def _kernel_for(descriptor: Solver, ctx: SolverContext) -> str:
         if ctx.is_fork and ctx.graph.num_tasks > 1 and ctx.one_task_per_processor:
             return KERNEL_FORK
         return KERNEL_SCALAR    # series-parallel recursion stays per instance
-    if descriptor.name == "tricrit-chain-exact":
-        # The scalar guard counts *all* tasks on the processor (zero-weight
-        # included) against CHAIN_EXACT_MAX_TASKS; oversized instances must
-        # take the scalar path so they raise exactly like the scalar solver.
+    if descriptor.name in ("tricrit-chain-exact", "tricrit-pruned"):
+        # Positive-weight tasks only, matching the scalar guards and the
+        # descriptor admissibility check; beyond the vector-subset cap the
+        # instance runs the scalar solver (enumeration or pruned search).
         if (ctx.is_single_processor
-                and ctx.graph.num_tasks <= limits.CHAIN_EXACT_MAX_TASKS
-                and ctx.num_positive_tasks <= VECTOR_SUBSET_MAX_TASKS):
+                and 1 <= ctx.num_positive_tasks <= VECTOR_SUBSET_MAX_TASKS):
             return KERNEL_TRICRIT_CHAIN
         return KERNEL_SCALAR
     return KERNEL_SCALAR
@@ -468,10 +466,13 @@ def _plan_batch_columnar(batch: ProblemBatch, solver: str, *,
                     & cols["one_task_per_processor"])
             routes[chain] = ROUTE_CHAIN
             routes[fork] = ROUTE_FORK
-        if solver in ("auto", "tricrit-chain-exact"):
+        if solver in ("auto", "tricrit-chain-exact", "tricrit-pruned"):
+            # Positive-weight tasks only (the scalar guards and the
+            # descriptor admissibility agree on that count); the vectorized
+            # subset kernel computes the same optimum whichever of the two
+            # exact chain solvers was named.
             tri = (tricrit & cols["single_processor"]
                    & cols["mapping_in_order"]
-                   & (cols["num_tasks"] <= limits.CHAIN_EXACT_MAX_TASKS)
                    & (cols["num_positive"] >= 1)
                    & (cols["num_positive"] <= VECTOR_SUBSET_MAX_TASKS))
             routes[tri] = ROUTE_TRICRIT
@@ -1089,10 +1090,14 @@ def _tricrit_chain_chunk(problems: list[BiCritProblem],
     best = np.argmin(energy, axis=1)
     for row, i in enumerate(rows):
         s = int(best[row])
+        # The kernel serves both exact chain solvers (blind enumeration and
+        # pruned search reach the same optimum); the label follows the
+        # dispatched descriptor so batch results match the scalar path.
+        label = plan.descriptors[i].name
         if not np.isfinite(energy[row, s]):
             results[i] = SolveResult(
                 schedule=None, energy=math.inf, status="infeasible",
-                solver="tricrit-chain-exact",
+                solver=label,
                 metadata=_lazy_metadata({"subsets_evaluated": S},
                                         plan.descriptors[i], ctxs[i], plan.auto))
             continue
@@ -1104,7 +1109,7 @@ def _tricrit_chain_chunk(problems: list[BiCritProblem],
             builder=_TricritChainScheduleBuilder(problems[i], speeds,
                                                  reexecuted),
             energy=float(energy[row, s]), status="optimal",
-            solver="tricrit-chain-exact",
+            solver=label,
             metadata=_lazy_metadata(
                 {"reexecuted": sorted(map(str, reexecuted)),
                  "subsets_evaluated": S},
@@ -1427,15 +1432,18 @@ def _tricrit_columnar_chunk(batch: ProblemBatch, rows: list[int], n: int,
                                                  alpha, reexec_floor, frel,
                                                  masks)
 
+    # Auto rows dispatch to the chain enumeration (priority order); a named
+    # ``tricrit-pruned`` keeps its own label, like the scalar path would.
+    label = plan.solver if plan.solver == "tricrit-pruned" \
+        else "tricrit-chain-exact"
     best = np.argmin(energy, axis=1)
     for row, i in enumerate(rows):
         s = int(best[row])
-        dispatch = _columnar_dispatch(batch, i, "tricrit-chain-exact",
-                                      plan.auto)
+        dispatch = _columnar_dispatch(batch, i, label, plan.auto)
         if not np.isfinite(energy[row, s]):
             results[i] = SolveResult(
                 schedule=None, energy=math.inf, status="infeasible",
-                solver="tricrit-chain-exact",
+                solver=label,
                 metadata={"subsets_evaluated": S, "dispatch": dispatch})
             continue
         f = eff[row, s] / durations[row, s]           # (n,) exec speeds
@@ -1460,7 +1468,7 @@ def _tricrit_columnar_chunk(batch: ProblemBatch, rows: list[int], n: int,
         result = LazyScheduleResult(
             builder=_WireScheduleBuilder(batch.payloads[i], speeds),
             energy=float(energy[row, s]), status="optimal",
-            solver="tricrit-chain-exact",
+            solver=label,
             metadata={"reexecuted": sorted(reexec_names),
                       "subsets_evaluated": S, "dispatch": dispatch})
         result.wire_view = {"makespan": makespan, "speeds": speeds,

@@ -19,21 +19,52 @@ from __future__ import annotations
 __all__ = [
     "EXHAUSTIVE_SUBSET_MAX_TASKS",
     "CHAIN_EXACT_MAX_TASKS",
+    "PRUNED_EXACT_MAX_TASKS",
+    "PRUNED_CLASS_ENUM_BUDGET",
+    "PRUNED_GAP_NODE_BUDGET",
     "FORK_BRUTEFORCE_MAX_TASKS",
     "DISCRETE_BRUTEFORCE_MAX_ASSIGNMENTS",
     "DISCRETE_BRUTEFORCE_MAX_TASKS",
     "BEST_KNOWN_EXHAUSTIVE_LIMIT",
+    "BEST_KNOWN_PRUNED_LIMIT",
 ]
 
 #: Positive-weight task bound for the ``2^n`` re-execution subset
 #: enumerations, shared by TRI-CRIT CONTINUOUS (``solve_tricrit_exhaustive``)
 #: and TRI-CRIT VDD-HOPPING (``solve_tricrit_vdd_exact``).  Each subset costs
 #: one restricted convex solve, so 14 tasks means at most 16384 solves.
+#:
+#: Since the branch-and-bound solver (``tricrit-pruned``) landed, this limit
+#: no longer sets the library's exact-solve ceiling -- it only guards the
+#: blind reference enumerators, which the parity tests keep as ground truth.
+#: The ceiling for dispatch is :data:`PRUNED_EXACT_MAX_TASKS`.
 EXHAUSTIVE_SUBSET_MAX_TASKS = 14
 
 #: The chain subset enumeration is cheaper per subset (a closed-form
 #: bounded allocation instead of a convex program), so it affords more tasks.
+#: This guards *direct calls* to ``solve_tricrit_chain_exact``; the registry
+#: descriptor caps dispatch admissibility at
+#: :data:`EXHAUSTIVE_SUBSET_MAX_TASKS` so auto-dispatch hands 15+-task
+#: chains to the pruned branch-and-bound instead of a ``2^n`` enumeration.
 CHAIN_EXACT_MAX_TASKS = 22
+
+#: Positive-weight task bound under which the branch-and-bound solver
+#: (``repro.solvers.pruned``) is advertised as *exact*: dominance and dual
+#: lower bounds prune the ``2^n`` subset tree far below enumeration cost, so
+#: the ceiling sits well above the blind enumerators'.  Beyond it the
+#: gap-certified anytime mode (``tricrit-pruned-gap``) takes over.
+PRUNED_EXACT_MAX_TASKS = 30
+
+#: Cap on the number of re-execution *count vectors* the pruned solver's
+#: chain weight-class DP enumerates directly (tasks of equal weight are
+#: interchangeable on a chain, so ``prod(count_w + 1)`` representative
+#: subsets cover all ``2^n``).
+PRUNED_CLASS_ENUM_BUDGET = 4096
+
+#: Default branch-and-bound node budget of the gap-certified anytime mode;
+#: each node costs one vectorized dual-bound evaluation plus at most one
+#: exact subset solve.
+PRUNED_GAP_NODE_BUDGET = 4000
 
 #: Fork brute force enumerates ``2^(n+1)`` re-execution configurations with a
 #: scalar minimisation each.
@@ -50,3 +81,8 @@ DISCRETE_BRUTEFORCE_MAX_TASKS = 9
 #: Below this many positive-weight tasks, ``best_known_tricrit`` prefers the
 #: exhaustive optimum over the heuristics as the reference value.
 BEST_KNOWN_EXHAUSTIVE_LIMIT = 10
+
+#: Between :data:`BEST_KNOWN_EXHAUSTIVE_LIMIT` and this many positive-weight
+#: tasks, ``best_known_tricrit`` uses the pruned branch-and-bound optimum as
+#: the reference value; beyond it the heuristics take over.
+BEST_KNOWN_PRUNED_LIMIT = PRUNED_EXACT_MAX_TASKS

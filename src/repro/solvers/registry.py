@@ -188,7 +188,12 @@ register_solver(Solver(
     problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
     exactness="exact", priority=10,
     requires_single_processor=True,
-    max_tasks=limits.CHAIN_EXACT_MAX_TASKS,
+    # Dispatch admissibility is capped at the shared enumeration limit, not
+    # the function's own 22-task guard: past 14 positive tasks the pruned
+    # branch-and-bound certifies the same optimum thousands of times faster,
+    # so auto-dispatch must never pick a 2^n enumeration there.  Direct
+    # calls (and validate=False) still honour CHAIN_EXACT_MAX_TASKS.
+    max_tasks=limits.EXHAUSTIVE_SUBSET_MAX_TASKS,
     default_options={"max_tasks": limits.CHAIN_EXACT_MAX_TASKS},
 ))
 
@@ -210,6 +215,25 @@ register_solver(Solver(
     requires_one_task_per_processor=True,
     max_tasks=limits.FORK_BRUTEFORCE_MAX_TASKS,
     default_options={"max_tasks": limits.FORK_BRUTEFORCE_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-pruned",
+    impl="repro.solvers.pruned:solve_tricrit_pruned",
+    summary="Exact branch-and-bound over re-execution subsets (dual bounds + dominance)",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="exact", priority=16,
+    max_tasks=limits.PRUNED_EXACT_MAX_TASKS,
+    default_options={"max_tasks": limits.PRUNED_EXACT_MAX_TASKS},
+))
+
+register_solver(Solver(
+    name="tricrit-pruned-gap",
+    impl="repro.solvers.pruned:solve_tricrit_pruned_gap",
+    summary="Anytime branch-and-bound with a certified optimality gap (no size limit)",
+    problem="tricrit", speed_models=_CONTINUOUS, structures=_ANY,
+    exactness="approx", priority=30,
+    default_options={"node_budget": limits.PRUNED_GAP_NODE_BUDGET},
 ))
 
 register_solver(Solver(

@@ -314,19 +314,31 @@ class TestBatchFrontDoor:
                                   problem.deadline)
             assert bool(verdict) == SolverContext.for_problem(fresh).is_feasible
 
-    def test_oversized_tricrit_chain_raises_like_scalar(self):
-        # 23 mapped tasks but only 10 positive: the descriptor admits the
-        # instance (positive-task count), while the scalar solver's guard
-        # counts every task on the processor and raises -- the batch path
-        # must fall back to the scalar kernel and raise identically.
+    def test_padded_tricrit_chain_admitted_like_scalar(self):
+        # 23 mapped tasks but only 10 positive: every limit check counts
+        # positive-weight tasks, so the instance is admissible through both
+        # the scalar front door and the batch planner (which may still
+        # vectorize it) -- and both agree on the optimum.
         weights = [1.0] * 10 + [0.0] * 13
-        with pytest.raises(ValueError, match="limited to 22 tasks"):
-            solve(tricrit_chain_problem(weights, 3.0),
-                  solver="tricrit-chain-exact")
+        scalar = solve(tricrit_chain_problem(weights, 3.0),
+                       solver="tricrit-chain-exact")
         plan = plan_batch([tricrit_chain_problem(weights, 3.0)],
                           "tricrit-chain-exact")
-        assert plan.kernel_counts() == {KERNEL_SCALAR: 1}
-        with pytest.raises(ValueError, match="limited to 22 tasks"):
+        assert plan.kernel_counts() == {KERNEL_TRICRIT_CHAIN: 1}
+        [batch] = solve_batch([tricrit_chain_problem(weights, 3.0)],
+                              solver="tricrit-chain-exact")
+        assert scalar.status == batch.status == "optimal"
+        assert batch.energy == pytest.approx(scalar.energy, rel=1e-9)
+
+    def test_oversized_tricrit_chain_raises_like_scalar(self):
+        # 23 positive-weight tasks genuinely exceed the enumeration limit:
+        # scalar and batch dispatch must reject with the same admissibility
+        # error (neither path silently truncates or falls back).
+        weights = [1.0] * 23
+        with pytest.raises(ValueError, match="positive-weight tasks, limit is"):
+            solve(tricrit_chain_problem(weights, 3.0),
+                  solver="tricrit-chain-exact")
+        with pytest.raises(ValueError, match="positive-weight tasks, limit is"):
             solve_batch([tricrit_chain_problem(weights, 3.0)],
                         solver="tricrit-chain-exact")
 

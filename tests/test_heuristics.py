@@ -125,11 +125,22 @@ class TestExhaustive:
         with pytest.raises(ValueError):
             solve_tricrit_exhaustive(problem, max_tasks=5)
 
-    def test_best_known_switches_between_exact_and_heuristic(self):
+    def test_best_known_routes_through_three_tiers(self):
         small = make_problem(generators.random_chain(4, seed=2), 1, slack=2.0)
         assert best_known_tricrit(small).solver == "tricrit-exhaustive"
+        medium = make_problem(generators.random_chain(14, seed=2), 1, slack=2.0)
+        assert best_known_tricrit(medium,
+                                  exhaustive_limit=6).solver == "tricrit-pruned"
         large = make_problem(generators.random_chain(14, seed=2), 1, slack=2.0)
-        assert "heuristic" in best_known_tricrit(large, exhaustive_limit=6).solver
+        assert "heuristic" in best_known_tricrit(large, exhaustive_limit=6,
+                                                 pruned_limit=8).solver
+
+    def test_best_known_pruned_tier_matches_exhaustive(self):
+        problem = make_problem(generators.random_chain(9, seed=4), 1, slack=1.8)
+        exact = solve_tricrit_exhaustive(problem)
+        pruned = best_known_tricrit(problem, exhaustive_limit=4)
+        assert pruned.solver == "tricrit-pruned"
+        assert pruned.energy == pytest.approx(exact.energy, rel=1e-9)
 
     def test_exhaustive_at_least_as_good_as_heuristics(self):
         problem = make_problem(generators.random_fork(4, seed=6), 5, slack=2.5)

@@ -1,0 +1,242 @@
+"""Parity and certificate tests for the pruned TRI-CRIT branch-and-bound.
+
+The pruned solver replaces the blind ``2^n`` subset enumeration past the
+reference enumerators' ceiling, so the single property that matters is
+*agreement*: on every instance both can solve, the branch-and-bound optimum
+must equal the enumerated optimum.  Hypothesis drives randomized chains
+against :func:`solve_tricrit_chain_exact` and randomized forks /
+series-parallel DAGs against :func:`solve_tricrit_exhaustive`; further
+tests pin down the gap certificate (the reported lower bound really is a
+bound), degenerate platforms, and infeasibility propagation end-to-end
+through the v1 API error codes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.api.errors import INFEASIBLE_PROBLEM, ApiError
+from repro.continuous.exhaustive import best_known_tricrit, solve_tricrit_exhaustive
+from repro.continuous.heuristics import best_of_heuristics
+from repro.continuous.tricrit_chain import solve_tricrit_chain_exact
+from repro.core.problem_io import problem_to_dict
+from repro.core.problems import InfeasibleProblemError, TriCritProblem
+from repro.core.reliability import ReliabilityModel
+from repro.core.speeds import ContinuousSpeeds
+from repro.dag import generators
+from repro.platform.list_scheduling import critical_path_mapping
+from repro.platform.platform import Platform
+from repro.solvers.pruned import solve_tricrit_pruned, solve_tricrit_pruned_gap
+
+REL = 1e-9
+
+
+def make_problem(graph, num_processors, slack, *,
+                 lambda0=1e-4, fmin=0.1, fmax=1.0) -> TriCritProblem:
+    model = ReliabilityModel(fmin=fmin, fmax=fmax, lambda0=lambda0)
+    platform = Platform(num_processors, ContinuousSpeeds(fmin, fmax),
+                        reliability_model=model)
+    mapping = critical_path_mapping(graph, num_processors, fmax=fmax).mapping
+    augmented = mapping.augmented_graph()
+    finish = {}
+    for t in augmented.topological_order():
+        s = max((finish[p] for p in augmented.predecessors(t)), default=0.0)
+        finish[t] = s + graph.weight(t)
+    deadline = slack * max(finish.values())
+    return TriCritProblem(mapping, platform, deadline)
+
+
+# ----------------------------------------------------------------------
+# parity with the reference enumerators
+# ----------------------------------------------------------------------
+class TestChainParity:
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(weights=st.lists(st.floats(min_value=0.0, max_value=8.0),
+                            min_size=1, max_size=10),
+           slack=st.floats(min_value=1.05, max_value=4.0),
+           lambda0=st.sampled_from([1e-5, 1e-4, 1e-3]))
+    def test_pruned_matches_chain_enumeration(self, weights, slack, lambda0):
+        if not any(w > 0 for w in weights):
+            weights = weights + [1.0]    # at least one positive task
+        problem = make_problem(generators.chain(weights), 1, slack,
+                               lambda0=lambda0)
+        reference = solve_tricrit_chain_exact(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.feasible == reference.feasible
+        if reference.feasible:
+            assert pruned.status == "optimal"
+            assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+        else:
+            assert pruned.status == "infeasible"
+            assert math.isinf(pruned.energy)
+
+    def test_pruned_reexecution_set_is_reliable(self):
+        problem = make_problem(generators.random_chain(9, seed=3), 1, 2.0,
+                               lambda0=1e-3)
+        result = solve_tricrit_pruned(problem)
+        assert result.feasible
+        report = problem.evaluate(result.require_schedule())
+        assert report.feasible
+        assert result.energy == pytest.approx(report.energy, rel=1e-6)
+
+    def test_evaluation_count_is_far_below_two_to_the_n(self):
+        # n = 14 would cost 16384 enumerated subsets; the pruned search must
+        # certify the same optimum with a small fraction of that.
+        problem = make_problem(generators.random_chain(14, seed=7), 1, 2.0,
+                               lambda0=1e-3)
+        reference = solve_tricrit_chain_exact(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+        assert pruned.metadata["subsets_evaluated"] < 2 ** 14 / 8
+
+
+class TestMultiProcessorParity:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("slack", [1.3, 2.0, 3.5])
+    def test_fork_matches_exhaustive(self, seed, slack):
+        problem = make_problem(generators.random_fork(6, seed=seed), 4, slack,
+                               lambda0=1e-3)
+        reference = solve_tricrit_exhaustive(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.feasible == reference.feasible
+        if reference.feasible:
+            assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("slack", [1.3, 2.0, 3.5])
+    def test_series_parallel_matches_exhaustive(self, seed, slack):
+        problem = make_problem(
+            generators.random_series_parallel(5, seed=seed), 2, slack,
+            lambda0=1e-3)
+        reference = solve_tricrit_exhaustive(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.feasible == reference.feasible
+        if reference.feasible:
+            assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+
+    def test_layered_dag_matches_exhaustive(self):
+        problem = make_problem(generators.random_layered_dag(4, 3, seed=2),
+                               3, 2.0, lambda0=1e-3)
+        reference = solve_tricrit_exhaustive(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+
+
+# ----------------------------------------------------------------------
+# gap-certified mode
+# ----------------------------------------------------------------------
+class TestGapMode:
+    def test_lower_bound_is_a_true_bound(self):
+        # The certificate must bracket the enumerated optimum from below and
+        # the (feasible) incumbent from above, and the reported gap must be
+        # consistent with the two.
+        problem = make_problem(generators.random_chain(12, seed=5), 1, 1.8,
+                               lambda0=1e-3)
+        optimum = solve_tricrit_chain_exact(problem).energy
+        result = solve_tricrit_pruned_gap(problem)
+        lb = result.metadata["lower_bound"]
+        assert lb <= optimum * (1 + REL)
+        assert result.energy >= optimum * (1 - REL)
+        gap = result.metadata["optimality_gap"]
+        assert gap >= (result.energy - lb) / result.energy - REL
+        assert 0.0 <= gap <= 1.0
+
+    def test_tiny_node_budget_still_returns_a_certificate(self):
+        problem = make_problem(generators.random_chain(12, seed=5), 1, 1.8,
+                               lambda0=1e-3)
+        optimum = solve_tricrit_chain_exact(problem).energy
+        result = solve_tricrit_pruned_gap(problem, node_budget=1,
+                                          gap_target=0.0)
+        assert result.feasible
+        assert result.metadata["lower_bound"] <= optimum * (1 + REL)
+        assert result.energy >= optimum * (1 - REL)
+
+    def test_no_size_limit_in_gap_mode(self):
+        problem = make_problem(generators.random_chain(60, seed=1), 1, 2.0,
+                               lambda0=1e-3)
+        result = solve_tricrit_pruned_gap(problem)
+        assert result.feasible
+        assert result.metadata["optimality_gap"] <= 0.05
+
+    def test_exact_mode_rejects_oversized_instances(self):
+        problem = make_problem(generators.random_chain(31, seed=1), 1, 2.0)
+        with pytest.raises(ValueError, match="tricrit-pruned-gap"):
+            solve_tricrit_pruned(problem, max_tasks=30)
+
+
+# ----------------------------------------------------------------------
+# degenerate platforms and edge cases
+# ----------------------------------------------------------------------
+class TestDegenerateInstances:
+    def test_single_speed_platform(self):
+        # fmin == fmax: the water-filling bracket is a point; the solver must
+        # not bisect it into a crash and must agree with the enumerator.
+        problem = make_problem(generators.random_chain(5, seed=9), 1, 3.0,
+                               fmin=1.0, fmax=1.0, lambda0=1e-3)
+        reference = solve_tricrit_chain_exact(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.feasible == reference.feasible
+        if reference.feasible:
+            assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+
+    def test_zero_slack_deadline(self):
+        # Deadline exactly the fmax makespan: feasible, nothing re-executed.
+        graph = generators.random_chain(6, seed=2)
+        problem = make_problem(graph, 1, 1.0)
+        reference = solve_tricrit_chain_exact(problem)
+        pruned = solve_tricrit_pruned(problem)
+        assert pruned.feasible == reference.feasible
+        if reference.feasible:
+            assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+            assert pruned.metadata["reexecuted"] == []
+
+    def test_infeasible_deadline_reports_infeasible(self):
+        graph = generators.chain([4.0, 4.0])
+        problem = make_problem(graph, 1, 0.5)
+        result = solve_tricrit_pruned(problem)
+        assert result.status == "infeasible"
+        assert not result.feasible
+        assert math.isinf(result.energy)
+
+    def test_zero_weight_tasks_do_not_count_against_limits(self):
+        weights = [1.0] * 8 + [0.0] * 30    # 38 tasks, 8 positive
+        problem = make_problem(generators.chain(weights), 1, 2.0,
+                               lambda0=1e-3)
+        reference = solve_tricrit_chain_exact(problem)
+        pruned = solve_tricrit_pruned(problem)    # 38 > 30 but 8 positive
+        assert pruned.energy == pytest.approx(reference.energy, rel=REL)
+
+
+# ----------------------------------------------------------------------
+# infeasibility propagation (reference records and the API boundary)
+# ----------------------------------------------------------------------
+class TestInfeasibilityPropagation:
+    def _infeasible_problem(self) -> TriCritProblem:
+        return make_problem(generators.chain([4.0, 4.0]), 1, 0.5)
+
+    def test_best_of_heuristics_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            best_of_heuristics(self._infeasible_problem())
+
+    def test_best_known_raises_on_every_tier(self):
+        problem = self._infeasible_problem()
+        with pytest.raises(InfeasibleProblemError):
+            best_known_tricrit(problem)                       # exhaustive tier
+        with pytest.raises(InfeasibleProblemError):
+            best_known_tricrit(problem, exhaustive_limit=1)   # pruned tier
+
+    def test_api_reports_infeasible_problem_code(self):
+        engine = api.Engine()
+        request = api.SolveRequest(
+            problem=problem_to_dict(self._infeasible_problem()),
+            solver="tricrit-best-of")
+        with pytest.raises(ApiError) as info:
+            engine.solve(request)
+        assert info.value.code == INFEASIBLE_PROBLEM
+        assert info.value.http_status == 422

@@ -153,8 +153,8 @@ class TestDispatch:
     @pytest.mark.parametrize("family,expected", [
         ("chain", "tricrit-chain-exact"),
         ("fork", "tricrit-fork-poly"),
-        ("series-parallel", "tricrit-exhaustive"),
-        ("dag", "tricrit-exhaustive"),
+        ("series-parallel", "tricrit-pruned"),
+        ("dag", "tricrit-pruned"),
     ])
     def test_auto_prefers_specialised_exact_tricrit(self, family, expected):
         problem = tricrit_problem(_small_instances()[family])
@@ -174,13 +174,26 @@ class TestDispatch:
         discrete = bicrit_problem(_small_instances()["chain"], speeds="discrete")
         assert select_solver(discrete).name == "bicrit-discrete-milp"
 
-    def test_auto_falls_back_to_heuristics_beyond_limits(self):
+    def test_auto_uses_pruned_search_beyond_enumeration_limits(self):
+        # Past the blind enumerators' ceiling the branch-and-bound solver
+        # keeps the dispatch exact ...
         spec = layered_suite(shapes=((5, 4),), num_processors=4,
                              slacks=(2.0,), seed=3)[0]
         problem = tricrit_problem(spec)
         ctx = SolverContext.for_problem(problem)
         assert ctx.num_positive_tasks > limits.EXHAUSTIVE_SUBSET_MAX_TASKS
-        assert select_solver(problem).name == "tricrit-best-of"
+        assert ctx.num_positive_tasks <= limits.PRUNED_EXACT_MAX_TASKS
+        assert select_solver(problem).name == "tricrit-pruned"
+
+    def test_auto_falls_back_to_gap_mode_beyond_pruned_limit(self):
+        # ... and past the pruned exact ceiling the anytime gap-certified
+        # mode takes over (before any heuristic).
+        spec = layered_suite(shapes=((8, 5),), num_processors=4,
+                             slacks=(2.0,), seed=3)[0]
+        problem = tricrit_problem(spec)
+        ctx = SolverContext.for_problem(problem)
+        assert ctx.num_positive_tasks > limits.PRUNED_EXACT_MAX_TASKS
+        assert select_solver(problem).name == "tricrit-pruned-gap"
 
     def test_dispatch_identical_to_direct_calls(self):
         fork = tricrit_problem(_small_instances()["fork"])
@@ -401,4 +414,5 @@ class TestAdmissibility:
         problem = tricrit_problem(spec)
         names = [s.name for s in admissible_solvers(problem)]
         assert "tricrit-exhaustive" not in names      # 16 > 14
-        assert "tricrit-chain-exact" in names         # 16 <= 22
+        assert "tricrit-chain-exact" not in names     # dispatch caps at 14
+        assert "tricrit-pruned" in names              # 16 <= 30
