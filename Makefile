@@ -1,25 +1,38 @@
-# Convenience targets for the reproduction repo.
+# Convenience targets for the reproduction repo.  `make help` lists these.
 #
 #   make test           - tier-1 test suite (the gate every PR must keep green)
 #   make coverage       - tier-1 suite under pytest-cov with the CI coverage floor
 #   make lint           - ruff check (critical rules; skipped when ruff is absent)
+#   make analyze        - repo-specific static analysis (REP001-REP006 invariant rules)
+#   make typecheck      - mypy over the strict-rung packages (skipped when mypy is absent)
 #   make smoke          - reduced-size smoke of the simulation + batch-solver perf paths
 #   make campaign-smoke - every E1-E13 scenario through the campaign runner
 #   make serve-smoke    - boot `python -m repro serve` (single + --workers 2 fleet), assert 200/schema + shared store
 #   make distributed-smoke - multi-worker coordinator + chaos tests under a hard timeout
 #   make refresh-golden - intentionally regenerate tests/golden/*.json snapshots
 #   make bench          - full benchmark/experiment suite (writes BENCH_*.json)
-#   make check          - lint + coverage + smoke + campaign-smoke + serve-smoke + distributed-smoke: what CI runs on every PR
+#   make check          - lint + analyze + typecheck + coverage + smoke + campaign-smoke
+#                         + serve-smoke + distributed-smoke: what CI runs on every PR
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-# Critical rules (syntax errors, broken comparisons, undefined names) plus a
-# bugbear/pyupgrade subset: mutable/call defaults, assert-False, modern
-# generics, redundant open modes, collections.abc imports.
-RUFF_RULES ?= E9,F63,F7,F82,B006,B008,B011,UP006,UP015,UP035
+# Critical rules (syntax errors, broken comparisons, undefined names), a
+# bugbear/pyupgrade subset (mutable/call defaults, assert-False, modern
+# generics, redundant open modes, collections.abc imports), and a curated
+# comprehension/simplify subset (C4: unnecessary generator/literal/double
+# casts; SIM: duplicate isinstance, needless bool, loop-to-any, open without
+# context manager, `in d.keys()`, negated/yoda comparisons).  C408, SIM102,
+# SIM105, SIM108, SIM114 and SIM117 are deliberately excluded: `dict(k=v)`
+# registry literals, nested ifs/withs, try/except-pass cleanup and
+# non-ternary branches are house style here.
+RUFF_RULES ?= E9,F63,F7,F82,B006,B008,B011,UP006,UP015,UP035,C400,C401,C402,C403,C404,C405,C413,C414,C416,C419,SIM101,SIM103,SIM110,SIM115,SIM118,SIM201,SIM202,SIM300
 
-.PHONY: test lint smoke campaign-smoke serve-smoke distributed-smoke bench check coverage refresh-golden
+.PHONY: help test lint analyze typecheck smoke campaign-smoke serve-smoke distributed-smoke bench check coverage refresh-golden
+
+# Print the target catalogue above (kept in one place: this header).
+help:
+	@sed -n '2,16p' Makefile | sed 's/^#//'
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +42,21 @@ lint:
 		ruff check --select $(RUFF_RULES) src tests benchmarks examples scripts; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it -- pip install ruff)"; \
+	fi
+
+# Repo-specific invariants (canonical JSON, seed discipline, lock discipline,
+# registry dispatch, set-iteration determinism, float equality).  Stdlib-only,
+# so unlike lint/typecheck it runs everywhere -- no graceful-skip branch.
+analyze:
+	$(PYTHON) -m repro.analysis src/repro
+
+# Strict-rung packages per mypy.ini's ladder.  Skipped gracefully when mypy
+# is not installed locally, mirroring the ruff pattern; CI pins and runs it.
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy -p repro; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it -- pip install mypy)"; \
 	fi
 
 smoke:
@@ -77,4 +105,4 @@ distributed-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q -s
 
-check: lint coverage smoke campaign-smoke serve-smoke distributed-smoke
+check: lint analyze typecheck coverage smoke campaign-smoke serve-smoke distributed-smoke

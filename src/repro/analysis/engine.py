@@ -1,0 +1,294 @@
+"""The AST lint engine: file walking, suppression comments, rendering.
+
+Rules are small visitors over one :class:`FileContext` (parsed tree +
+comment map + module name).  The engine owns everything rule-independent:
+
+* discovering Python files under the given paths;
+* mapping files to dotted module names (``src/repro/api/engine.py`` ->
+  ``repro.api.engine``), which rules use for path-scoped exemptions;
+* the suppression protocol -- ``# repro: allow[REP001]`` (optionally
+  ``allow[REP001,REP005] -- reason``) either trailing any line the
+  flagged statement spans, or on a comment-only line directly above it
+  (further comment lines may continue the reason).  Suppressed findings
+  are flagged, not deleted, so ``--include-suppressed`` can still audit
+  the deliberate exceptions;
+* ``# guarded-by: <lock>`` / ``# requires: <lock>`` comment parsing for
+  the lock-discipline rule (kept here because it is comment-layer, not
+  AST-layer, and tokenization happens once per file);
+* stable ordering and the human/JSON renderings.
+
+The engine is stdlib-only on purpose: it has to run in every environment
+the tier-1 suite runs in, including containers without ruff or mypy.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "AnalysisError",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]
+
+#: ``# repro: allow[REP001]`` / ``# repro: allow[REP001,REP005] -- reason``
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s-]+)\]")
+#: ``# guarded-by: _lock`` on an attribute/global declaration line.
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+#: ``# requires: _lock`` on a ``def`` line: callers hold the lock.
+_REQUIRES_RE = re.compile(r"#\s*requires:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+class AnalysisError(RuntimeError):
+    """Raised for unanalysable input (unreadable file, syntax error)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    def __init__(self, path: Path, source: str, *,
+                 module: str | None = None) -> None:
+        self.path = path
+        self.source = source
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+        self.module = module if module is not None else module_name_for(path)
+        #: lineno -> set of rule ids allowed on that line ("*" allows all).
+        self.allowed: dict[int, frozenset[str]] = {}
+        #: lineno -> lock name declared via ``# guarded-by: <lock>``.
+        self.guarded_lines: dict[int, str] = {}
+        #: lineno -> lock name declared via ``# requires: <lock>``.
+        self.requires_lines: dict[int, str] = {}
+        self._scan_comments()
+
+    def _scan_comments(self) -> None:
+        lines = self.source.splitlines()
+        comment_only: set[int] = set()
+        standalone_allows: list[tuple[int, frozenset[str]]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                lineno, col = tok.start
+                own_line = not lines[lineno - 1][:col].strip() \
+                    if lineno <= len(lines) else False
+                if own_line:
+                    comment_only.add(lineno)
+                match = _ALLOW_RE.search(tok.string)
+                if match:
+                    ids = frozenset(part.strip().upper()
+                                    for part in match.group(1).split(",")
+                                    if part.strip())
+                    self.allowed[lineno] = self.allowed.get(
+                        lineno, frozenset()) | ids
+                    if own_line:
+                        standalone_allows.append((lineno, ids))
+                match = _GUARDED_RE.search(tok.string)
+                if match:
+                    self.guarded_lines[lineno] = match.group(1)
+                match = _REQUIRES_RE.search(tok.string)
+                if match:
+                    self.requires_lines[lineno] = match.group(1)
+        except tokenize.TokenError:
+            # A tokenization hiccup only costs comment-layer features;
+            # the AST rules still run.
+            pass
+        # A comment-only allow line attaches to the next statement line
+        # (skipping continuation comment lines carrying the reason).  A
+        # blank line breaks the association.
+        for lineno, ids in standalone_allows:
+            target = lineno + 1
+            while target in comment_only:
+                target += 1
+            if target <= len(lines) and lines[target - 1].strip():
+                self.allowed[target] = self.allowed.get(
+                    target, frozenset()) | ids
+
+    # -- suppression ---------------------------------------------------
+    def is_suppressed(self, rule_id: str, node: ast.AST) -> bool:
+        """True when any line the node spans carries an allow comment for
+        ``rule_id`` (or the wildcard ``*``), whether trailing the line or
+        standing alone directly above the statement."""
+        first = getattr(node, "lineno", None)
+        if first is None:
+            return False
+        last = getattr(node, "end_lineno", None) or first
+        for lineno in range(first, last + 1):
+            ids = self.allowed.get(lineno)
+            if ids and (rule_id.upper() in ids or "*" in ids):
+                return True
+        return False
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str, *,
+                hint: str | None = None) -> Finding:
+        """Build a finding for ``node``, applying the suppression protocol."""
+        return Finding(
+            rule=rule.rule_id,
+            path=str(self.path),
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=rule.hint if hint is None else hint,
+            suppressed=self.is_suppressed(rule.rule_id, node),
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check` as a
+    generator of :class:`Finding` (use :meth:`FileContext.finding` so the
+    suppression protocol is applied uniformly).
+    """
+
+    rule_id: str = "REP000"
+    name: str = "unnamed"
+    summary: str = ""
+    hint: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.rule_id} {self.name}>"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``.
+
+    Anchored at the last ``repro`` path component so the same file maps to
+    the same module whether scanned as ``src/repro/...``, an absolute
+    path, or a path inside an installed tree.  Files outside the package
+    (rule-test fixtures) map to their bare stem, which never matches a
+    path-scoped exemption -- exactly what fixture tests need.
+    """
+    parts = list(path.resolve().parts)
+    name = path.stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        inside = list(parts[anchor:-1]) + ([] if name == "__init__"
+                                           else [name])
+        return ".".join(inside)
+    return name
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """All ``*.py`` files under the given files/directories, sorted.
+
+    ``__pycache__`` trees are skipped; a missing path is an error (a typo
+    must not silently analyse nothing).
+    """
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py")
+                       if "__pycache__" not in p.parts)
+        elif path.is_file():
+            out.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in rule-id order."""
+    from .rules import RULE_CLASSES
+
+    return [cls() for cls in RULE_CLASSES]
+
+
+def analyze_paths(paths: Sequence[str | Path], *,
+                  rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Run ``rules`` (default: all) over every Python file under ``paths``.
+
+    Returns all findings -- suppressed ones included, flagged as such --
+    in (path, line, col, rule) order.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        ctx = FileContext(path, source)
+        for rule in active:
+            findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def render_text(findings: Sequence[Finding], *,
+                include_suppressed: bool = False) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per
+    finding plus a summary line (always present, even when clean)."""
+    lines = []
+    shown = [f for f in findings if include_suppressed or not f.suppressed]
+    for f in shown:
+        tag = " [suppressed]" if f.suppressed else ""
+        lines.append(f"{f.location}: {f.rule}{tag} {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    unsuppressed = sum(1 for f in findings if not f.suppressed)
+    suppressed = sum(1 for f in findings if f.suppressed)
+    lines.append(f"{unsuppressed} finding(s), {suppressed} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *,
+                include_suppressed: bool = True) -> str:
+    """Machine-readable report (stable key order, one object per finding)."""
+    shown = [f for f in findings if include_suppressed or not f.suppressed]
+    payload = {
+        "findings": [f.to_dict() for f in shown],
+        "unsuppressed": sum(1 for f in findings if not f.suppressed),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+    }
+    # repro: allow[REP002] -- lint report on stdout, never hashed into a key
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,104 @@
+"""REP003 seed-discipline: RNG construction outside ``repro.core.rng``.
+
+Reproducibility across processes (and across ``--jobs 1`` vs ``--jobs N``
+campaign runs) rests on exactly one seed-derivation policy:
+:func:`repro.core.rng.resolve_seed` / :func:`spawn_child_seeds` /
+:func:`resolve_rng`.  An ad-hoc ``np.random.default_rng()`` or stdlib
+``random.*`` call sidesteps that policy -- it cannot participate in
+deterministic child-seed spawning, and a ``default_rng()`` with no seed
+silently injects OS entropy into what a campaign records as a
+deterministic result.
+
+The rule flags RNG *construction and global-state* calls outside
+``repro.core.rng``: ``numpy.random.default_rng`` / ``seed`` /
+``RandomState`` / ``SeedSequence`` / ``get_state`` / ``set_state`` and any
+call through the stdlib ``random`` module.  Drawing from an existing
+``Generator`` object someone passed in is fine -- that generator was
+resolved through the policy upstream.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+#: The one module allowed to construct generators and derive seeds.
+_RNG_MODULE = "repro.core.rng"
+
+#: numpy.random attributes that construct generators or touch global state.
+_NP_RANDOM_CALLS = frozenset({"default_rng", "seed", "RandomState",
+                              "SeedSequence", "get_state", "set_state"})
+
+
+class SeedDisciplineRule(Rule):
+    rule_id = "REP003"
+    name = "seed-discipline"
+    summary = ("RNG constructed outside repro.core.rng "
+               "(np.random.default_rng / RandomState / stdlib random.*)")
+    hint = ("route seeds through repro.core.rng (resolve_seed, resolve_rng, "
+            "spawn_child_seeds) so child-seed derivation stays one policy; "
+            "suppress with '# repro: allow[REP003] -- <reason>'")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == _RNG_MODULE:
+            return
+        numpy_aliases: set[str] = set()          # import numpy as np
+        np_random_aliases: set[str] = set()      # from numpy import random as r
+        stdlib_random_aliases: set[str] = set()  # import random
+        from_random_names: set[str] = set()      # from random import randint
+        from_np_random_names: set[str] = set()   # from numpy.random import ...
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        np_random_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        stdlib_random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        from_random_names.add(alias.asname or alias.name)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in _NP_RANDOM_CALLS:
+                            from_np_random_names.add(alias.asname or alias.name)
+
+        def is_np_random(expr: ast.AST) -> bool:
+            """``np.random`` / ``numpy.random`` / an alias of it."""
+            if isinstance(expr, ast.Attribute) and expr.attr == "random" \
+                    and isinstance(expr.value, ast.Name) \
+                    and expr.value.id in numpy_aliases:
+                return True
+            return isinstance(expr, ast.Name) and expr.id in np_random_aliases
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _NP_RANDOM_CALLS and is_np_random(func.value):
+                    yield ctx.finding(
+                        self, node,
+                        f"np.random.{func.attr}(...) outside repro.core.rng "
+                        "bypasses the one seed-derivation policy")
+                elif isinstance(func.value, ast.Name) \
+                        and func.value.id in stdlib_random_aliases:
+                    yield ctx.finding(
+                        self, node,
+                        f"stdlib random.{func.attr}(...) draws from hidden "
+                        "global state; campaigns cannot reproduce it")
+            elif isinstance(func, ast.Name) and (
+                    func.id in from_random_names
+                    or func.id in from_np_random_names):
+                yield ctx.finding(
+                    self, node,
+                    f"{func.id}(...) (imported from a random module) outside "
+                    "repro.core.rng bypasses the seed-derivation policy")

@@ -1,0 +1,113 @@
+"""REP004 registry-bypass: direct imports of registered solver impls.
+
+PR 3 unified ~17 solver entry points behind the registry/dispatch layer
+precisely because direct calls had drifted: one entry point capped
+enumeration at 12 tasks, another at 14, and the answer to "is this
+instance admissible?" depended on which import you happened to call (the
+12-vs-14 ``max_tasks`` drift re-fixed in PR 9).  The registry is where
+size limits, default options and admissibility predicates live; importing
+a registered implementation callable directly reintroduces exactly that
+drift -- the call skips the descriptor's ``max_tasks`` and
+``default_options``.
+
+The rule parses ``repro/solvers/registry.py`` (AST only, no import) for
+the ``impl="module:callable"`` strings and flags any ``from ... import``
+of one of those callables outside the solver layer itself
+(``repro.solvers.*``, the ``repro.continuous``/``repro.discrete``
+algorithm packages, and test/benchmark trees, which exercise impls
+directly on purpose).  Measurement code that *must* call a raw impl (e.g.
+scaling studies timing the algorithm without dispatch overhead) documents
+itself with ``# repro: allow[REP004] -- <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from functools import lru_cache
+from pathlib import Path
+
+from ..engine import FileContext, Finding, Rule
+
+#: Module prefixes allowed to import impls directly: the solver layer and
+#: the algorithm packages themselves.
+_ALLOWED_PREFIXES = ("repro.solvers", "repro.continuous", "repro.discrete")
+
+#: Path components under which direct impl imports are deliberate.
+_ALLOWED_PATH_PARTS = frozenset({"tests", "benchmarks"})
+
+
+@lru_cache(maxsize=1)
+def registered_impls() -> dict[str, frozenset[str]]:
+    """``{module: {callable, ...}}`` parsed from the registry source.
+
+    The registry references impls lazily as ``"module:callable"`` strings,
+    so its own source is the single machine-readable list of which
+    callables are dispatch-managed.  Parsed with ``ast`` (never imported):
+    the analyzer must not execute library code.
+    """
+    registry_path = Path(__file__).resolve().parents[2] / "solvers" / "registry.py"
+    tree = ast.parse(registry_path.read_text(encoding="utf-8"),
+                     filename=str(registry_path))
+    impls: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "impl" and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, str) \
+                    and ":" in keyword.value.value:
+                module, _, callable_name = keyword.value.value.partition(":")
+                impls.setdefault(module, set()).add(callable_name)
+    return {module: frozenset(names) for module, names in impls.items()}
+
+
+def _resolve_relative(module: str, *, package: str,
+                      level: int) -> str | None:
+    """Absolute module name of a (possibly relative) ``from`` import."""
+    if level == 0:
+        return module
+    parts = package.split(".")
+    if level > len(parts):
+        return None
+    base = parts[:len(parts) - (level - 1)]
+    return ".".join(base + ([module] if module else []))
+
+
+class RegistryBypassRule(Rule):
+    rule_id = "REP004"
+    name = "registry-bypass"
+    summary = ("direct import of a registry-managed solver implementation; "
+               "skips the descriptor's size limits and default options")
+    hint = ("call repro.solvers.dispatch.solve(problem, solver=<name>) or "
+            "look the descriptor up via repro.solvers.registry; suppress "
+            "with '# repro: allow[REP004] -- <why dispatch must be "
+            "bypassed>'")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(part in _ALLOWED_PATH_PARTS for part in ctx.path.parts):
+            return
+        if ctx.module.startswith(_ALLOWED_PREFIXES):
+            return
+        impls = registered_impls()
+        # Relative imports resolve against the file's package: the module
+        # itself for a package __init__, its parent otherwise.
+        package = ctx.module if ctx.path.name == "__init__.py" \
+            else ctx.module.rpartition(".")[0]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            absolute = _resolve_relative(node.module or "", package=package,
+                                         level=node.level)
+            if absolute is None:
+                continue
+            managed = impls.get(absolute)
+            if not managed:
+                continue
+            for alias in node.names:
+                if alias.name in managed:
+                    yield ctx.finding(
+                        self, node,
+                        f"direct import of registry-managed solver impl "
+                        f"{absolute}:{alias.name}; calling it skips the "
+                        "registry's size limits and default options")

@@ -32,7 +32,10 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..core.problems import SolveResult
 
 from .engine import (
     DEFAULT_CACHE_SIZE,
@@ -94,7 +97,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 # the shared in-process engine
 # ----------------------------------------------------------------------
-_default_engine: Engine | None = None
+_default_engine: Engine | None = None  # guarded-by: _default_lock
 _default_lock = threading.Lock()
 
 
@@ -126,12 +129,14 @@ def reset_default_engine() -> None:
 # ----------------------------------------------------------------------
 # convenience front doors on the shared engine
 # ----------------------------------------------------------------------
-def submit(problem: Any, solver: str = "auto", **kwargs: Any):
+def submit(problem: Any, solver: str = "auto",
+           **kwargs: Any) -> "tuple[SolveResult, bool]":
     """``default_engine().submit(...)``: solve one instance, with caching."""
     return default_engine().submit(problem, solver, **kwargs)
 
 
-def submit_batch(problems: Sequence[Any], solver: str = "auto", **kwargs: Any):
+def submit_batch(problems: Sequence[Any], solver: str = "auto",
+                 **kwargs: Any) -> "list[tuple[SolveResult, bool]]":
     """``default_engine().submit_batch(...)``: vectorized cached batch solve."""
     return default_engine().submit_batch(problems, solver, **kwargs)
 

@@ -165,14 +165,14 @@ class Engine:
         self.max_tasks = max_tasks
         self.max_batch = max_batch
         self.store = store
-        self._results = _LRU(cache_size)
-        self._problems = _LRU(problem_pool_size)
+        self._results = _LRU(cache_size)  # guarded-by: _lock
+        self._problems = _LRU(problem_pool_size)  # guarded-by: _lock
         self._coalescer = Coalescer()
         self._coalesce_timeout = coalesce_timeout
         self._lock = threading.RLock()
-        self._counters: Counter[str] = Counter()
-        self._error_counters: Counter[str] = Counter()
-        self._latencies: dict[str, deque[float]] = {}
+        self._counters: Counter[str] = Counter()  # guarded-by: _lock
+        self._error_counters: Counter[str] = Counter()  # guarded-by: _lock
+        self._latencies: dict[str, deque[float]] = {}  # guarded-by: _lock
         self._latency_window = latency_window
         self._created = time.time()
 

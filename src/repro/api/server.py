@@ -42,6 +42,7 @@ import time
 from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from typing import Any
 
 from ..core.gcscope import paused_gc
 from ..store import ResultStore, StoreError, parse_bytes, resolve_store_root
@@ -128,6 +129,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _respond(self, status: int, payload: dict) -> None:
         # Compact separators: on a 10k-instance solve-batch response the
         # default ", "/": " padding is ~15% of several megabytes.
+        # repro: allow[REP002] -- HTTP response body, never hashed into a key
         data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -146,7 +148,7 @@ class _Handler(BaseHTTPRequestHandler):
     do_GET = _dispatch
     do_POST = _dispatch
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if self.server.verbose:
             super().log_message(format, *args)
 
@@ -175,7 +177,7 @@ class ApiServer(ThreadingHTTPServer):
         self.handler_timeout = handler_timeout
         self.reuse_port = reuse_port
         self.draining = False
-        self._inflight = 0
+        self._inflight = 0  # guarded-by: _inflight_cond
         self._inflight_cond = threading.Condition()
         try:
             if reuse_port:
@@ -269,7 +271,7 @@ def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, *,
     stop = threading.Event()
     installed: list[tuple[signal.Signals, object]] = []
     if threading.current_thread() is threading.main_thread():
-        def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        def _on_signal(signum: int, frame: Any) -> None:  # noqa: ARG001 - signal signature
             stop.set()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -369,8 +371,8 @@ class _PassThroughProxy:
                  backends: Sequence[tuple[str, int]]) -> None:
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
-        self._backends = list(backends)
-        self._next = 0
+        self._backends = list(backends)  # guarded-by: _lock
+        self._next = 0  # guarded-by: _lock
         self._lock = threading.Lock()
         self._stopped = threading.Event()
         self._thread = threading.Thread(target=self._accept_loop,
@@ -531,7 +533,7 @@ def _serve_fleet(args: argparse.Namespace) -> int:
 
         stop = threading.Event()
 
-        def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        def _on_signal(signum: int, frame: Any) -> None:  # noqa: ARG001 - signal signature
             stop.set()
         for sig in (signal.SIGTERM, signal.SIGINT):
             signal.signal(sig, _on_signal)

@@ -20,7 +20,6 @@ unchanged.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import time
 from collections.abc import Iterator, Mapping
@@ -28,7 +27,7 @@ from pathlib import Path
 from typing import Any
 
 from ..store import ResultStore
-from ..store.canonical import canonicalize
+from ..store.canonical import canonical_blob, canonicalize
 
 __all__ = ["ResultCache", "canonicalize", "instance_key", "make_record",
            "DEFAULT_CACHE_DIR", "NAMESPACE"]
@@ -57,8 +56,7 @@ def instance_key(scenario: str, params: Mapping[str, Any], *,
         "params": canonicalize(params),
         "version": _version_tag(cache_version),
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_blob(payload)).hexdigest()
 
 
 class ResultCache:

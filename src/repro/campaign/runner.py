@@ -328,6 +328,7 @@ def _run_parallel(pending, finish, should_abort, jobs: int) -> bool:
                     finish(index, instance, key, result, elapsed, None)
             if should_abort() and not aborted:
                 aborted = True
+                # repro: allow[REP001] -- cancels every member; order immaterial
                 for future in outstanding:
                     future.cancel()
     return aborted

@@ -114,6 +114,9 @@ def verify_partition_reduction(integers: Sequence[int], *,
     ``"milp"``.  Returns a dict with the scheduling optimum, the energy
     budget, the derived decision and the direct 2-PARTITION answer.
     """
+    # repro: allow[REP004] -- the reduction proof needs the raw exact
+    # solvers: dispatch's max_tasks cap would reject the very instances
+    # whose NP-hardness the reduction demonstrates
     from ..discrete.exact import (
         solve_bicrit_discrete_bruteforce,
         solve_bicrit_discrete_milp,

@@ -59,6 +59,8 @@ def measure_vdd_lp_scaling(sizes: Sequence[int], *, seed: int = 0,
                            modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                            backend: str = "scipy") -> list[ScalingPoint]:
     """LP size and solve time of BI-CRIT VDD-HOPPING on growing chains."""
+    # repro: allow[REP004] -- scaling study times the raw algorithm;
+    # dispatch overhead and size caps would distort the measurement
     from ..discrete.vdd_lp import build_vdd_lp, solve_bicrit_vdd_lp
 
     points = []
@@ -81,6 +83,8 @@ def measure_discrete_exact_scaling(sizes: Sequence[int], *, seed: int = 0,
                                    modes: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                                    backend: str = "bnb") -> list[ScalingPoint]:
     """Search effort of the exact DISCRETE solver on growing chains."""
+    # repro: allow[REP004] -- scaling study times the raw algorithm;
+    # dispatch overhead and size caps would distort the measurement
     from ..discrete.exact import (
         solve_bicrit_discrete_bruteforce,
         solve_bicrit_discrete_milp,
@@ -108,6 +112,8 @@ def measure_discrete_exact_scaling(sizes: Sequence[int], *, seed: int = 0,
 def measure_tricrit_chain_scaling(sizes: Sequence[int], *, seed: int = 0,
                                   slack: float = 2.5) -> list[ScalingPoint]:
     """Subsets explored by the exact TRI-CRIT chain solver on growing chains."""
+    # repro: allow[REP004] -- scaling study times the raw algorithm;
+    # dispatch overhead and size caps would distort the measurement
     from ..continuous.tricrit_chain import solve_tricrit_chain_exact
 
     points = []

@@ -193,10 +193,13 @@ def solve_bicrit_convex(mapping: Mapping, platform: Platform, deadline: float, *
             return list(augmented.edges())
         # Contract zero-weight tasks.
         reachable_from_zero: dict[TaskId, set[TaskId]] = {}
-        edges = set(augmented.edges())
-        # iteratively replace edges through zero-weight tasks
+        # Iteratively replace edges through zero-weight tasks.  The fixpoint
+        # runs over an insertion-ordered dict, not a set: the returned edge
+        # list orders the solver's constraint rows, and set iteration would
+        # leak hash-randomised order into them (REP001).
+        edge_set: dict[tuple[TaskId, TaskId], None] = dict.fromkeys(
+            augmented.edges())
         changed = True
-        edge_set = set(edges)
         while changed:
             changed = False
             for z in zero_tasks:
@@ -205,7 +208,7 @@ def solve_bicrit_convex(mapping: Mapping, platform: Platform, deadline: float, *
                 for u in preds:
                     for v in succs:
                         if (u, v) not in edge_set and u != v:
-                            edge_set.add((u, v))
+                            edge_set[(u, v)] = None
                             changed = True
         return [
             (u, v) for (u, v) in edge_set

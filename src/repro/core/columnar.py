@@ -36,7 +36,6 @@ so a template can never silently diverge from the scalar key path.
 from __future__ import annotations
 
 import hashlib
-import json
 import math
 from collections.abc import Mapping as TMapping, Sequence
 from typing import Any
@@ -536,6 +535,8 @@ class ProblemBatch:
         return template
 
     def _build_template(self, row: _Row) -> Any:
+        from ..store.canonical import canonical_blob  # deferred: no core -> store cycle
+
         if any("\x00" in t for t in row.task_ids):
             return False
         perm, edges = self._canonical_order(row)
@@ -572,7 +573,7 @@ class ProblemBatch:
         }
         if row.kind == KIND_TRICRIT:
             skeleton["reliability_model"] = rel_skeleton(row.prob_rel is not None)
-        blob = json.dumps(skeleton, sort_keys=True, separators=(",", ":"))
+        blob = canonical_blob(skeleton).decode("utf-8")
         # json renders the NUL sentinels as backslash-u escapes, which
         # can never collide with the (NUL-free) id strings of the skeleton.
         rendered = [f'"\\u0000{k}\\u0000"' for k in range(len(slots))]

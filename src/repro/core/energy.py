@@ -23,8 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+from typing import Union
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+#: Vectorised numeric result: scalar inputs yield ``float``, array inputs
+#: yield an ``ndarray`` of the broadcast shape.
+Vectorised = Union[float, np.ndarray]
 
 __all__ = [
     "EnergyModel",
@@ -72,11 +78,11 @@ class EnergyModel:
     # ------------------------------------------------------------------
     # per-execution energies
     # ------------------------------------------------------------------
-    def power(self, speed):
+    def power(self, speed: ArrayLike) -> np.ndarray:
         """Dynamic power ``f^alpha`` (vectorised)."""
         return np.asarray(speed, dtype=float) ** self.exponent
 
-    def task_energy(self, weight, speed):
+    def task_energy(self, weight: ArrayLike, speed: ArrayLike) -> Vectorised:
         """Energy of one execution of a task of ``weight`` at ``speed``.
 
         ``E = w * f^(alpha-1)`` -- with the default cube law, ``w * f^2``.
@@ -93,7 +99,7 @@ class EnergyModel:
             return float(result)
         return result
 
-    def energy_for_duration(self, weight, duration):
+    def energy_for_duration(self, weight: ArrayLike, duration: ArrayLike) -> Vectorised:
         """Energy of executing ``weight`` units of work in ``duration`` time.
 
         The work is executed at the constant speed ``w/d`` (running at a
@@ -110,7 +116,8 @@ class EnergyModel:
             return float(result)
         return result
 
-    def reexecution_energy(self, weight, speed_first, speed_second):
+    def reexecution_energy(self, weight: ArrayLike, speed_first: ArrayLike,
+                           speed_second: ArrayLike) -> Vectorised:
         """Worst-case energy of a re-executed task: both executions count."""
         return self.task_energy(weight, speed_first) + self.task_energy(
             weight, speed_second
@@ -134,7 +141,7 @@ class EnergyModel:
     # ------------------------------------------------------------------
     # aggregate helpers
     # ------------------------------------------------------------------
-    def total_energy(self, weights, speeds) -> float:
+    def total_energy(self, weights: ArrayLike, speeds: ArrayLike) -> float:
         """Sum of single-execution energies (vectorised convenience)."""
         return float(np.sum(self.task_energy(np.asarray(weights), np.asarray(speeds))))
 
@@ -145,17 +152,21 @@ class EnergyModel:
 _DEFAULT = EnergyModel()
 
 
-def task_energy(weight, speed, model: EnergyModel = _DEFAULT):
+def task_energy(weight: ArrayLike, speed: ArrayLike,
+                model: EnergyModel = _DEFAULT) -> Vectorised:
     """Energy ``w * f^2`` of one execution under the default cube law."""
     return model.task_energy(weight, speed)
 
 
-def reexecution_energy(weight, speed_first, speed_second, model: EnergyModel = _DEFAULT):
+def reexecution_energy(weight: ArrayLike, speed_first: ArrayLike,
+                       speed_second: ArrayLike,
+                       model: EnergyModel = _DEFAULT) -> Vectorised:
     """Worst-case energy ``w (f1^2 + f2^2)`` of a re-executed task."""
     return model.reexecution_energy(weight, speed_first, speed_second)
 
 
-def energy_for_duration(weight, duration, model: EnergyModel = _DEFAULT):
+def energy_for_duration(weight: ArrayLike, duration: ArrayLike,
+                        model: EnergyModel = _DEFAULT) -> Vectorised:
     """Energy ``w^3 / d^2`` of executing ``weight`` within ``duration``."""
     return model.energy_for_duration(weight, duration)
 
@@ -175,7 +186,7 @@ def schedule_energy(executions: Iterable[tuple[float, Sequence[float]]],
     return total
 
 
-def continuous_lower_bound_single_chain(weights, deadline: float,
+def continuous_lower_bound_single_chain(weights: ArrayLike, deadline: float,
                                         model: EnergyModel = _DEFAULT) -> float:
     """Energy lower bound ``(sum w_i)^3 / D^2`` for tasks sharing one processor.
 

@@ -25,8 +25,8 @@ from collections.abc import Iterator
 __all__ = ["paused_gc"]
 
 _lock = threading.Lock()
-_depth = 0
-_was_enabled = False
+_depth = 0  # guarded-by: _lock
+_was_enabled = False  # guarded-by: _lock
 
 
 @contextlib.contextmanager

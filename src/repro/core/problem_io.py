@@ -149,6 +149,7 @@ def problem_from_dict(data: dict[str, Any]) -> BiCritProblem:
 def save_problem_json(problem: BiCritProblem, path: str | Path) -> None:
     """Write a problem instance to a JSON file."""
     Path(path).write_text(
+        # repro: allow[REP002] -- pretty human-readable file, not a cache key
         json.dumps(problem_to_dict(problem), indent=2, sort_keys=True))
 
 

@@ -28,6 +28,7 @@ from .schedule import Schedule, ScheduleViolation
 if TYPE_CHECKING:  # imported only for type checking to avoid a package cycle
     from ..platform.mapping import Mapping
     from ..platform.platform import Platform
+    from ..solvers.context import SolverContext
 
 __all__ = [
     "InfeasibleProblemError",
@@ -135,7 +136,7 @@ class BiCritProblem:
         """Energy of the trivial feasible schedule (everything at fmax)."""
         return Schedule.uniform_speed(self.mapping, self.platform, self.fmax).energy()
 
-    def context(self):
+    def context(self) -> "SolverContext":
         """The instance's memoized :class:`~repro.solvers.context.SolverContext`.
 
         Lazy import: ``repro.core`` sits below the solver layer.

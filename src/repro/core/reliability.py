@@ -35,8 +35,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+#: Vectorised numeric result: scalar inputs yield ``float``, array inputs
+#: yield an ``ndarray`` of the broadcast shape.
+Vectorised = Union[float, np.ndarray]
 
 __all__ = [
     "ReliabilityModel",
@@ -100,7 +106,7 @@ class ReliabilityModel:
     # ------------------------------------------------------------------
     # fault rate and per-execution reliability
     # ------------------------------------------------------------------
-    def fault_rate(self, speed):
+    def fault_rate(self, speed: ArrayLike) -> Vectorised:
         """Fault rate ``lambda(f) = lambda0 * exp(d (fmax-f)/(fmax-fmin))``."""
         f = np.asarray(speed, dtype=float)
         if self.fmax == self.fmin:
@@ -112,7 +118,7 @@ class ReliabilityModel:
             return float(result)
         return result
 
-    def failure_probability(self, weight, speed):
+    def failure_probability(self, weight: ArrayLike, speed: ArrayLike) -> Vectorised:
         """Failure probability of one execution: ``lambda(f) * w / f``.
 
         This is the first-order expression used in the paper's equation (1).
@@ -129,12 +135,13 @@ class ReliabilityModel:
             return float(p)
         return p
 
-    def reliability(self, weight, speed):
+    def reliability(self, weight: ArrayLike, speed: ArrayLike) -> Vectorised:
         """Reliability of a single execution, ``R_i(f) = 1 - lambda(f) w/f``."""
         result = 1.0 - self.failure_probability(weight, speed)
         return result
 
-    def reexecution_reliability(self, weight, speed_first, speed_second):
+    def reexecution_reliability(self, weight: ArrayLike, speed_first: ArrayLike,
+                                speed_second: ArrayLike) -> Vectorised:
         """Reliability of two independent attempts at the given speeds."""
         p1 = self.failure_probability(weight, speed_first)
         p2 = self.failure_probability(weight, speed_second)
@@ -146,15 +153,16 @@ class ReliabilityModel:
     # ------------------------------------------------------------------
     # constraint helpers
     # ------------------------------------------------------------------
-    def threshold(self, weight) -> float:
+    def threshold(self, weight: ArrayLike) -> float:
         """Reliability threshold ``R_i(frel)`` of a task of given weight."""
         return self.reliability(weight, self.frel)
 
-    def threshold_failure(self, weight) -> float:
+    def threshold_failure(self, weight: ArrayLike) -> float:
         """Failure-probability budget ``1 - R_i(frel)`` of a task."""
         return self.failure_probability(weight, self.frel)
 
-    def single_execution_ok(self, weight, speed, *, tol: float = 1e-12) -> bool:
+    def single_execution_ok(self, weight: ArrayLike, speed: ArrayLike, *,
+                            tol: float = 1e-12) -> bool:
         """Does one execution at ``speed`` meet the reliability constraint?
 
         Since reliability is increasing in speed this is equivalent to
@@ -167,14 +175,16 @@ class ReliabilityModel:
             <= self.threshold_failure(weight) + tol
         )
 
-    def reexecution_ok(self, weight, speed_first, speed_second, *,
+    def reexecution_ok(self, weight: ArrayLike, speed_first: ArrayLike,
+                       speed_second: ArrayLike, *,
                        tol: float = 1e-12) -> bool:
         """Do two executions at the given speeds meet the constraint?"""
         p1 = self.failure_probability(weight, speed_first)
         p2 = self.failure_probability(weight, speed_second)
         return bool(p1 * p2 <= self.threshold_failure(weight) + tol)
 
-    def min_equal_reexecution_speed(self, weight, *, tol: float = 1e-12) -> float:
+    def min_equal_reexecution_speed(self, weight: ArrayLike, *,
+                                    tol: float = 1e-12) -> float:
         """Smallest speed ``f`` such that two executions at ``f`` are reliable enough.
 
         Solves ``failure(w, f)^2 <= threshold_failure(w)`` by bisection on
@@ -188,6 +198,8 @@ class ReliabilityModel:
         if budget <= 0.0:
             # Threshold is perfect reliability: only achievable when the
             # failure probability is exactly zero, i.e. lambda0 == 0.
+            # repro: allow[REP006] -- lambda0 is an assigned model
+            # parameter, never computed; exact zero is the sentinel
             if self.lambda0 == 0.0:
                 return self.fmin
             return float(self.frel)
@@ -213,7 +225,7 @@ class ReliabilityModel:
                 break
         return hi
 
-    def min_single_execution_speed(self, weight) -> float:
+    def min_single_execution_speed(self, weight: ArrayLike) -> float:
         """Smallest speed meeting the constraint with a single execution.
 
         Equals ``frel`` for every positive weight because reliability is

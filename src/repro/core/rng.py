@@ -11,7 +11,11 @@ two conversions that policy needs:
 * :func:`spawn_child_seeds` derives independent, deterministic child seeds
   from a base seed via :class:`numpy.random.SeedSequence` -- the campaign
   sweep expander uses it to give every expanded scenario instance its own
-  stream without correlated draws.
+  stream without correlated draws;
+* :func:`resolve_rng` is the one place the library constructs
+  :class:`numpy.random.Generator` objects, so that the REP003
+  seed-discipline lint can verify no other module calls
+  ``np.random.default_rng`` directly.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["resolve_seed", "spawn_child_seeds"]
+__all__ = ["resolve_rng", "resolve_seed", "spawn_child_seeds"]
 
 #: Upper bound (exclusive) for integer seeds drawn from a Generator; keeps
 #: resolved seeds well inside the exactly-representable integer range of the
@@ -44,6 +48,19 @@ def resolve_seed(seed: "int | np.random.Generator | None", default: int) -> int:
     if isinstance(seed, (int, np.integer)):
         return int(seed)
     raise TypeError(f"seed must be int, numpy Generator or None, got {type(seed)!r}")
+
+
+def resolve_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Resolve the seed union into a :class:`numpy.random.Generator`.
+
+    An existing :class:`~numpy.random.Generator` passes through unchanged
+    (so callers can thread one stream through a call chain); an ``int`` or
+    ``None`` constructs a fresh generator.  This is the library's single
+    generator-construction site -- everything else routes through it.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
 
 
 def spawn_child_seeds(seed: int, count: int) -> list[int]:

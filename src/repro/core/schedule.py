@@ -352,7 +352,7 @@ class Schedule:
     def is_feasible(self, deadline: float | None = None, *,
                     check_reliability: bool = False,
                     reliability_model: ReliabilityModel | None = None,
-                    **tols) -> bool:
+                    **tols: float) -> bool:
         return not self.violations(
             deadline, check_reliability=check_reliability,
             reliability_model=reliability_model, **tols,

@@ -18,6 +18,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..core.rng import resolve_rng
 from .taskgraph import TaskGraph
 
 __all__ = [
@@ -41,9 +42,7 @@ __all__ = [
 
 
 def _rng(seed) -> np.random.Generator:
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
+    return resolve_rng(seed)
 
 
 def _positive_weights(rng: np.random.Generator, n: int, low: float, high: float) -> np.ndarray:

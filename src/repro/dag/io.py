@@ -48,6 +48,7 @@ def taskgraph_from_dict(data: dict[str, Any]) -> TaskGraph:
 def save_json(graph: TaskGraph, path: str | Path) -> None:
     """Write a task graph to a JSON file."""
     path = Path(path)
+    # repro: allow[REP002] -- pretty human-readable file, not a cache key
     path.write_text(json.dumps(taskgraph_to_dict(graph), indent=2, sort_keys=True))
 
 

@@ -93,6 +93,8 @@ def solve_bicrit_discrete_milp(problem: BiCritProblem, *, backend: str = "scipy"
         chosen = None
         for s in range(len(speeds)):
             chosen = x[(t, s)] if chosen is None else chosen + x[(t, s)]
+        # repro: allow[REP006] -- symbolic MILP constraint (operator
+        # overloading), not a float comparison
         model.add_constraint(chosen == 1.0, name=f"one_mode[{t}]")
 
     def duration_expr(t: TaskId):
@@ -155,7 +157,7 @@ def solve_bicrit_discrete_bruteforce(
     """Enumerate every mode assignment (exponential; tiny instances only)."""
     speeds = _discrete_speeds(problem)
     graph = problem.graph
-    tasks = [t for t in graph.tasks()]
+    tasks = list(graph.tasks())
     num_assignments = len(speeds) ** len(tasks)
     if num_assignments > max_assignments:
         raise ValueError(

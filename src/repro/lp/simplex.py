@@ -89,6 +89,8 @@ def _standardise(model: LinearProgram) -> _StandardForm:
         constant = 0.0
         for j in range(n):
             coeff = row[j]
+            # repro: allow[REP006] -- skip structurally-zero coefficients;
+            # exact zero is the intent (a near-zero must stay in the row)
             if coeff == 0.0:
                 continue
             constant += coeff * offsets[j]
@@ -137,6 +139,8 @@ def _standardise(model: LinearProgram) -> _StandardForm:
     obj_const = 0.0
     for j in range(n):
         coeff = c_x[j]
+        # repro: allow[REP006] -- skip structurally-zero coefficients;
+        # exact zero is the intent (a near-zero must stay in the objective)
         if coeff == 0.0:
             continue
         obj_const += coeff * offsets[j]

@@ -26,9 +26,11 @@ def bisect_root(func: Callable[[float], float], lo: float, hi: float, *,
         raise ValueError(f"invalid bracket: lo={lo} > hi={hi}")
     f_lo = func(lo)
     f_hi = func(hi)
+    # repro: allow[REP006] -- exact-root early exit: any nonzero residual,
+    # however tiny, correctly falls through to the bisection loop
     if f_lo == 0.0:
         return lo
-    if f_hi == 0.0:
+    if f_hi == 0.0:  # repro: allow[REP006] -- exact-root early exit
         return hi
     if f_lo * f_hi > 0:
         raise ValueError(
@@ -37,7 +39,7 @@ def bisect_root(func: Callable[[float], float], lo: float, hi: float, *,
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)
         f_mid = func(mid)
-        if f_mid == 0.0:
+        if f_mid == 0.0:  # repro: allow[REP006] -- exact-root early exit
             return mid
         if f_lo * f_mid < 0:
             hi, f_hi = mid, f_mid

@@ -29,6 +29,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from ..core.rng import resolve_rng
 from ..dag.analysis import bottom_levels, top_levels
 from ..dag.taskgraph import TaskGraph, TaskId
 from .mapping import Mapping
@@ -92,7 +93,7 @@ def list_schedule(graph: TaskGraph, num_processors: int, *, fmax: float = 1.0,
         raise ValueError(f"unknown placement rule {placement!r}")
 
     prio = (priority or bottom_levels)(graph)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     tie_break = {t: (rng.random() if seed is not None else 0.0) for t in graph.tasks()}
 
     in_degree = {t: len(graph.predecessors(t)) for t in graph.tasks()}
@@ -175,7 +176,7 @@ def random_mapping(graph: TaskGraph, num_processors: int, *, fmax: float = 1.0,
                    seed: int = 0) -> ListScheduleResult:
     """Random priorities -- the weak baseline of the E12 ablation."""
     def prio(g: TaskGraph) -> dict[TaskId, float]:
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed)
         return {t: float(rng.random()) for t in g.tasks()}
 
     return list_schedule(graph, num_processors, fmax=fmax, priority=prio, seed=seed)

@@ -24,6 +24,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.reliability import ReliabilityModel
+from ..core.rng import resolve_rng
 from ..core.schedule import Execution
 
 __all__ = ["FaultInjector", "as_generator"]
@@ -37,9 +38,7 @@ def as_generator(rng) -> np.random.Generator:
     point routes its ``rng``/``seed`` argument through this helper so integer
     seeds work anywhere a generator does.
     """
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
+    return resolve_rng(rng)
 
 
 @dataclass

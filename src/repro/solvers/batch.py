@@ -655,6 +655,8 @@ def _floor_array(w: np.ndarray, model_fmin: np.ndarray, model_fmax: np.ndarray,
     # budget <= 0: perfect-reliability threshold -- fmin when lambda0 == 0
     # (failure identically zero), frel otherwise (matches the scalar model).
     degenerate = budget <= 0.0
+    # repro: allow[REP006] -- lambda0 is an assigned model parameter,
+    # never computed; exact zero is the perfect-reliability sentinel
     out[degenerate] = np.where(lambda0[degenerate] == 0.0,
                                model_fmin[degenerate], frel[degenerate])
 

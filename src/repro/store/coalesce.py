@@ -70,9 +70,9 @@ class Coalescer:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._flights: dict[str, Flight] = {}
-        self._coalesced = 0
-        self._led = 0
+        self._flights: dict[str, Flight] = {}  # guarded-by: _lock
+        self._coalesced = 0  # guarded-by: _lock
+        self._led = 0  # guarded-by: _lock
 
     def claim(self, key: str) -> tuple[Flight, bool]:
         """``(flight, is_leader)`` -- leader computes, waiters wait."""

@@ -114,10 +114,10 @@ class ResultStore:
         if max_bytes is not None and max_bytes < 0:
             raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._index: OrderedDict[tuple[str, str], tuple[int, int, Any]] = OrderedDict()
+        self._index: OrderedDict[tuple[str, str], tuple[int, int, Any]] = OrderedDict()  # guarded-by: _lock
         self._index_entries = max(0, index_entries)
         self._lock = threading.Lock()
-        self._counters = {"hits": 0, "misses": 0, "writes": 0,
+        self._counters = {"hits": 0, "misses": 0, "writes": 0,  # guarded-by: _lock
                           "evictions": 0, "quarantined": 0}
 
     # -- addressing ----------------------------------------------------
@@ -189,7 +189,7 @@ class ResultStore:
         return envelope["payload"]
 
     def _remember(self, cache_key: tuple[str, str], mtime_ns: int,
-                  size: int, payload: Any) -> None:
+                  size: int, payload: Any) -> None:  # requires: _lock
         if self._index_entries <= 0:
             return
         self._index[cache_key] = (mtime_ns, size, payload)
@@ -244,6 +244,8 @@ class ResultStore:
             f".tmp-{os.getpid()}-{threading.get_ident()}")
         try:
             with tmp.open("w", encoding="utf-8") as fh:
+                # repro: allow[REP002] -- envelope body only; its key and
+                # checksum were computed upstream via canonical_blob
                 json.dump(envelope, fh, separators=(",", ":"))
             tmp.replace(path)
         finally:

@@ -1,0 +1,18 @@
+"""REP002 fixture: raw json serialisation outside the canonical module."""
+
+import hashlib
+import json
+from json import dumps
+
+
+def key_of(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def other_key(payload: dict) -> str:
+    return dumps(payload)
+
+
+def write(payload: dict, fh) -> None:
+    json.dump(payload, fh)

@@ -1,0 +1,11 @@
+"""REP002 fixture: reading JSON is fine; only dumps/dump are keyed risks."""
+
+import json
+
+
+def load(text: str) -> dict:
+    return json.loads(text)
+
+
+def read(fh) -> dict:
+    return json.load(fh)

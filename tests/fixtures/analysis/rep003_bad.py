@@ -1,0 +1,24 @@
+"""REP003 fixture: RNG construction outside repro.core.rng."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh() -> float:
+    rng = np.random.default_rng()          # unseeded: OS entropy
+    return float(rng.random())
+
+
+def seeded() -> float:
+    rng = default_rng(7)                   # ad-hoc seed derivation
+    return float(rng.random())
+
+
+def legacy() -> None:
+    np.random.seed(0)                      # global numpy state
+
+
+def stdlib() -> float:
+    return random.random()                 # hidden global state

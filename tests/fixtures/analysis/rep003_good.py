@@ -1,0 +1,13 @@
+"""REP003 fixture: drawing from a generator resolved upstream is fine."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.random(n)
+
+
+def shuffle(rng: np.random.Generator, items: list) -> list:
+    out = list(items)
+    rng.shuffle(out)
+    return out

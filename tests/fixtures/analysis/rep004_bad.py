@@ -1,0 +1,7 @@
+"""REP004 fixture: importing registry-managed solver impls directly."""
+
+from repro.discrete.exact import solve_bicrit_discrete_milp
+
+
+def run(problem):
+    return solve_bicrit_discrete_milp(problem)

@@ -1,0 +1,7 @@
+"""REP004 fixture: going through dispatch keeps the registry in charge."""
+
+from repro.solvers.dispatch import solve
+
+
+def run(problem):
+    return solve(problem, solver="discrete-exact")

@@ -1,0 +1,26 @@
+"""REP005 fixture: guarded state touched without the lock."""
+
+import threading
+
+_lock = threading.Lock()
+_count = 0  # guarded-by: _lock
+
+
+def bump_unlocked() -> None:
+    global _count
+    _count += 1  # no lock held
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict = {}  # guarded-by: _lock
+
+    def get_unlocked(self, key):
+        return self._items.get(key)
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                return len(self._items)  # runs after the lock is released
+            return later

@@ -1,0 +1,30 @@
+"""REP005 fixture: every guarded access holds its lock (or declares
+``# requires``)."""
+
+import threading
+
+_lock = threading.Lock()
+_count = 0  # guarded-by: _lock
+
+
+def bump() -> None:
+    global _count
+    with _lock:
+        _count += 1
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict = {}  # guarded-by: _lock
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+
+    def _evict(self) -> None:  # requires: _lock
+        self._items.clear()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._evict()

@@ -1,0 +1,9 @@
+"""REP006 fixture: exact equality against float expressions."""
+
+
+def check(x: float, y: float) -> bool:
+    if x == 1.0:                 # literal float
+        return True
+    if x != y * 0.5:             # arithmetic containing a float literal
+        return False
+    return float(x) == float(y)  # float casts

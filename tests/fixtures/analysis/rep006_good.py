@@ -1,0 +1,11 @@
+"""REP006 fixture: tolerance-based and integer comparisons."""
+
+import math
+
+
+def check(x: float, y: float, n: int) -> bool:
+    if math.isclose(x, 1.0):
+        return True
+    if abs(x - y) < 1e-9:
+        return False
+    return n == 0  # integer equality is exact by construction

@@ -1,0 +1,13 @@
+"""Suppression-protocol fixture: violations with documented allows."""
+
+import json
+
+tasks = {"b", "a"}
+
+as_list = list(tasks)  # repro: allow[REP001] -- fixture: order checked downstream
+
+# repro: allow[REP002] -- fixture: standalone comment form, report output
+# (continuation comment lines carry the rest of the reason)
+blob = json.dumps({"k": 1})
+
+both = [v for v in {0.5, 1.5} if v == 0.5]  # repro: allow[REP001,REP006] -- fixture: multi-id form
